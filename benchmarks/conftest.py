@@ -1,0 +1,31 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each ``test_<id>_*.py`` file regenerates one paper artefact: it runs the
+registered experiment under ``pytest-benchmark`` timing, asserts the
+figure's shape verdicts, and prints the rows/series the paper reports
+(use ``-s`` to see them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.experiments  # noqa: F401 — registration side effects
+from repro.experiments.base import ExperimentResult, get_experiment
+
+
+def run_experiment_benchmark(
+    benchmark, experiment_id: str, *, rounds: int = 1, **options
+) -> ExperimentResult:
+    """Benchmark one experiment run and assert its verdicts."""
+
+    def run() -> ExperimentResult:
+        return get_experiment(experiment_id)(render_plots=False, **options)
+
+    result = benchmark.pedantic(run, rounds=rounds, iterations=1)
+    print()
+    print(result.render())
+    assert result.passed, (
+        f"{experiment_id} failing verdicts: {result.failing_verdicts()}"
+    )
+    return result

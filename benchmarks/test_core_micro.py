@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Not tied to a paper figure; they track the cost of the primitives the
+experiments are built from — closed-form composition, the stability
+criterion, the return map, fluid integration and raw DES throughput.
+"""
+
+import pytest
+
+from repro.core.parameters import paper_example_params
+from repro.core.phase_plane import PhasePlaneAnalyzer
+from repro.core.limit_cycle import return_map
+from repro.core.stability import required_buffer, strong_stability_report
+from repro.experiments.presets import CASE1_SLOW
+from repro.fluid.integrate import simulate_fluid
+from repro.simulation.network import BCNNetworkSimulator
+
+
+def test_bench_compose_piecewise(benchmark):
+    analyzer = PhasePlaneAnalyzer(CASE1_SLOW)
+    traj = benchmark(lambda: analyzer.compose(max_switches=50))
+    assert traj.n_switches > 0
+
+
+def test_bench_required_buffer(benchmark):
+    params = paper_example_params()
+    value = benchmark(lambda: required_buffer(params))
+    assert value == pytest.approx(13.81e6, rel=1e-2)
+
+
+def test_bench_stability_report(benchmark):
+    params = paper_example_params()
+    report = benchmark.pedantic(
+        lambda: strong_stability_report(params, max_switches=100),
+        rounds=3, iterations=1)
+    assert report.strongly_stable
+
+
+def test_bench_return_map(benchmark):
+    value = benchmark.pedantic(
+        lambda: return_map(CASE1_SLOW, 20.0), rounds=5, iterations=1)
+    assert 0 < value < 20.0
+
+
+def test_bench_fluid_integration(benchmark):
+    traj = benchmark.pedantic(
+        lambda: simulate_fluid(CASE1_SLOW, t_max=30.0, mode="nonlinear",
+                               max_switches=100),
+        rounds=3, iterations=1)
+    assert traj.t.size > 0
+
+
+def test_bench_des_throughput(benchmark):
+    """Packet events per wall-second at the paper's configuration."""
+    params = paper_example_params()
+
+    def run():
+        net = BCNNetworkSimulator(params)
+        net.run(0.005)
+        return net.sim.events_processed
+
+    events = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert events > 1000

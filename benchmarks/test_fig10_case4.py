@@ -1,0 +1,9 @@
+"""Bench F10 — regenerate Fig. 10 (Case 4/5: unconditional stability)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig10_case4(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig10", rounds=3)
+    rows = {row[0]: row[1] for row in result.table_rows}
+    assert rows["max x (should be <= 0)"] <= 0.0

@@ -1,0 +1,10 @@
+"""Bench F3 — regenerate Fig. 3 (trajectory taxonomy vs strong stability)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig3_taxonomy(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig3")
+    # the taxonomy covers all nine archetypes
+    labels = {row[0] for row in result.table_rows}
+    assert labels == {"l1/l2", "l3", "l4", "l5+l7", "l6", "l8", "l9"}

@@ -1,0 +1,10 @@
+"""Bench F4 — regenerate Fig. 4 (spiral trajectories and extrema)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig4_spiral(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig4", rounds=3)
+    # eqs. (19)/(20) hold to near machine precision
+    for row in result.table_rows:
+        assert row[-1] < 1e-9

@@ -1,0 +1,9 @@
+"""Bench F5 — regenerate Fig. 5 (node trajectories, invariant lines)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig5_node(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig5", rounds=3)
+    for row in result.table_rows:
+        assert row[-1] < 1e-9  # eq. (28) precision

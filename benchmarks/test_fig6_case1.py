@@ -1,0 +1,11 @@
+"""Bench F6 — regenerate Fig. 6 (Case 1: spiral/spiral dynamics)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig6_case1(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig6", rounds=3)
+    rows = {row[0]: row for row in result.table_rows}
+    # eqs. (36)-(37) reproduce the first-round excursions
+    assert rows["first peak max1{x}"][3] < 1e-9
+    assert rows["first trough min1{x}"][3] < 1e-9

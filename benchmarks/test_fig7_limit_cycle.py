@@ -1,0 +1,10 @@
+"""Bench F7 — regenerate Fig. 7 (limit-cycle motion)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig7_limit_cycle(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig7")
+    rows = {row[0]: row[1] for row in result.table_rows}
+    assert rows["peak drift over run (rel)"] < 1e-3  # closed orbit
+    assert rows["max nonlinear P(y)/y"] < 1.0       # no interior cycle

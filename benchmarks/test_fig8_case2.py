@@ -1,0 +1,9 @@
+"""Bench F8 — regenerate Fig. 8 (Case 2: single overshoot, asymptote)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig8_case2(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig8", rounds=3)
+    rows = {row[0]: row for row in result.table_rows}
+    assert rows["peak max2{x}"][3] < 1e-9  # eq. (38)

@@ -1,0 +1,9 @@
+"""Bench F9 — regenerate Fig. 9 (Case 3: no overshoot past q0)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_fig9_case3(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig9", rounds=3)
+    rows = {row[0]: row[1] for row in result.table_rows}
+    assert rows["max x (should be <= 0)"] <= 0.0

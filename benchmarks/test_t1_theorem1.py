@@ -1,0 +1,13 @@
+"""Bench T1 — the Theorem 1 worked example (Section IV Remarks)."""
+
+import pytest
+
+from conftest import run_experiment_benchmark
+
+
+def test_t1_theorem1_example(benchmark):
+    result = run_experiment_benchmark(benchmark, "t1", rounds=3)
+    rows = {row[0]: row for row in result.table_rows}
+    # paper: 13.75 Mbit required, nearly 3x the 5 Mbit BDP
+    assert rows["required buffer (Mbit)"][2] == pytest.approx(13.81, abs=0.05)
+    assert 2.5 <= rows["required / BDP"][2] <= 3.0

@@ -1,0 +1,11 @@
+"""Bench V1 — Theorem 1 bound vs exact peak over the case grid."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_v1_criterion_sweep(benchmark):
+    result = run_experiment_benchmark(benchmark, "v1")
+    # soundness on every grid point
+    for row in result.table_rows:
+        bound, peak = row[4], row[5]
+        assert peak <= bound * (1 + 1e-9)

@@ -1,0 +1,9 @@
+"""Bench V2 — fluid model vs packet-level DES agreement."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_v2_fluid_vs_packet(benchmark):
+    result = run_experiment_benchmark(benchmark, "v2", duration=0.3)
+    rows = {row[0]: row[1] for row in result.table_rows}
+    assert rows["nrmse"] < 0.15

@@ -1,0 +1,9 @@
+"""Bench V3 — BCN vs QCN vs E2CM vs FERA vs binary AIMD."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_v3_baselines(benchmark):
+    result = run_experiment_benchmark(benchmark, "v3", duration=0.02)
+    schemes = {row[0] for row in result.table_rows}
+    assert schemes == {"bcn", "qcn", "e2cm", "fera", "aimd"}

@@ -1,0 +1,10 @@
+"""Bench V4 — Chiu-Jain fairness of the BCN AIMD laws."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_v4_fairness(benchmark):
+    result = run_experiment_benchmark(benchmark, "v4")
+    rows = {row[0]: row[1] for row in result.table_rows}
+    assert rows["Jain index end"] > 0.999
+    assert rows["AIAD gap retention"] > 0.9  # the control arm

@@ -1,0 +1,9 @@
+"""Bench V5 — trace-driven fat-tree under BCN."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_v5_trace_driven(benchmark):
+    result = run_experiment_benchmark(benchmark, "v5")
+    rows = {row[0]: row[1] for row in result.table_rows}
+    assert rows["mice completion fraction"] > 0.9

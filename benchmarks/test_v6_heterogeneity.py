@@ -1,0 +1,9 @@
+"""Bench V6 — heterogeneous sources vs the homogeneous fluid model."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_v6_heterogeneity(benchmark):
+    result = run_experiment_benchmark(benchmark, "v6", duration=0.2)
+    by_kind = {row[0]: row for row in result.table_rows}
+    assert by_kind["none"][1] < 0.2  # baseline nrmse

@@ -1,0 +1,75 @@
+"""How much feedback delay can a BCN loop take?
+
+The paper drops propagation delay from its model; this example puts it
+back with the library's DDE integrator and walks the whole story:
+
+1. the Nyquist delay margin of the linearised loops (the [4]-style
+   formula ``atan(k w*)/w*``);
+2. a delay sweep of the actual switched system: stable below the
+   margin, oscillation growth above it;
+3. bisection for the empirical critical delay — it lands on the margin;
+4. the supercritical side: growth saturates into an attracting limit
+   cycle (constant-amplitude queue oscillation — the phenomenon field
+   deployments reported);
+5. the margin as a *design* quantity: how it scales with the gains, and
+   where the paper's own example configuration sits.
+
+Run with::
+
+    python examples/delay_study.py
+"""
+
+import numpy as np
+
+from repro.baselines import nyquist_delay_margin
+from repro.core import NormalizedParams, paper_example_params
+from repro.fluid import critical_delay, simulate_delayed
+from repro.viz import format_table, line_plot
+
+
+def main() -> None:
+    p = NormalizedParams(a=2.0, b=0.02, k=1.0, capacity=100.0, q0=10.0,
+                         buffer_size=1e9)
+    margin = min(nyquist_delay_margin(p.n_increase, p.k),
+                 nyquist_delay_margin(p.n_decrease, p.k))
+    print(f"1. Nyquist margin of the linearised loops: {margin:.3f} s")
+
+    print("\n2. delay sweep of the switched system:")
+    rows = []
+    for factor in (0.2, 0.6, 0.9, 1.2, 1.8):
+        traj = simulate_delayed(p, tau=factor * margin, t_max=60.0)
+        rows.append([f"{factor:.1f} x margin", traj.classify(),
+                     traj.amplitude_trend() or "-"])
+    print(format_table(["delay", "behaviour", "peak ratio/round"], rows))
+
+    tau_c = critical_delay(p, tau_lo=0.2 * margin, tau_hi=2.5 * margin,
+                           t_max=60.0, iterations=9)
+    print(f"\n3. empirical critical delay: {tau_c:.3f} s "
+          f"({tau_c / margin:.3f} x the Nyquist margin)")
+
+    cycle = simulate_delayed(p, tau=1.5 * margin, t_max=200.0)
+    late = np.abs(cycle.x[cycle.t > 150.0])
+    print(f"\n4. past the boundary: amplitude saturates at |x| ~ "
+          f"{late.max():.1f} (a delay-induced limit cycle)")
+    thin = slice(None, None, max(1, cycle.t.size // 3000))
+    print(line_plot(cycle.t[thin], cycle.x[thin], reference=0.0,
+                    title="queue offset x(t) at 1.5x the margin", height=10))
+
+    print("5. margin vs gains (stiffer loop = less delay tolerance):")
+    rows = []
+    for a in (0.5, 2.0, 8.0, 32.0):
+        m = nyquist_delay_margin(a, p.k)
+        rows.append([a, m])
+    print(format_table(["a = RuGiN", "margin (s)"], rows))
+
+    paper = paper_example_params().normalized()
+    m_paper = min(nyquist_delay_margin(paper.n_increase, paper.k),
+                  nyquist_delay_margin(paper.n_decrease, paper.k))
+    print(f"\npaper's example config: margin {m_paper:.2e} s vs its 0.5 us "
+          f"propagation delay — the fluid loop is *less* delay-tolerant "
+          f"than the physical link; the real system survives because "
+          f"per-message feedback is far slower than the fluid idealisation.")
+
+
+if __name__ == "__main__":
+    main()

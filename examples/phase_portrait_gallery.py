@@ -1,0 +1,34 @@
+"""A gallery of BCN phase portraits — all five cases at a glance.
+
+For each of the paper's cases (Section IV.C) this script composes a
+family of exact trajectories from a spread of initial states and
+renders the portrait: how every start is funnelled by the switching
+line into the spiral (Cases 1/2) or onto the node asymptote (Cases
+3/4/5).  The global view the paper's single-trajectory figures imply.
+
+Run with::
+
+    python examples/phase_portrait_gallery.py
+"""
+
+from repro.core import classify_case, phase_portrait
+from repro.experiments.presets import CASE1_SLOW, CASE2, CASE3, CASE4, CASE5
+
+
+def main() -> None:
+    presets = {
+        "Case 1 (spiral/spiral)": CASE1_SLOW,
+        "Case 2 (node/spiral)": CASE2,
+        "Case 3 (spiral/node)": CASE3,
+        "Case 4 (node/node)": CASE4,
+        "Case 5 (degenerate)": CASE5,
+    }
+    for title, params in presets.items():
+        portrait = phase_portrait(params, max_switches=25)
+        label = f"{title} — classified {classify_case(params).value}"
+        print(portrait.to_ascii(title=label, height=14))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: analyse a BCN deployment in a dozen lines.
+
+Takes the paper's worked example (50 flows on a 10 Gbit/s link with the
+standard-draft gains), asks the three questions a network operator
+would ask — is it stable? how big must the buffer be? what will the
+transient look like? — and renders the phase trajectory in the
+terminal.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    PhasePlaneAnalyzer,
+    paper_example_params,
+    required_buffer,
+    strong_stability_report,
+)
+from repro.viz import line_plot, phase_plot
+
+
+def main() -> None:
+    params = paper_example_params()
+    print(f"Link: {params.capacity / 1e9:.0f} Gbit/s, {params.n_flows} flows, "
+          f"q0 = {params.q0 / 1e6:.1f} Mbit, buffer = {params.buffer_size / 1e6:.0f} Mbit")
+
+    # 1. Is this configuration strongly stable (Definition 1)?
+    report = strong_stability_report(params)
+    print(f"\ncase: {report.case.value} (governed by Proposition {report.proposition})")
+    print(f"strongly stable: {report.strongly_stable}")
+    print(f"Theorem 1 satisfied: {report.theorem1_satisfied}")
+
+    # 2. How much buffer does Theorem 1 ask for?
+    needed = required_buffer(params)
+    print(f"\nTheorem 1 buffer requirement: {needed / 1e6:.2f} Mbit "
+          f"(paper reports 13.75 Mbit)")
+    print(f"transient queue peak: {report.queue_peak / 1e6:.2f} Mbit")
+
+    # 3. What does the transient look like?
+    analyzer = PhasePlaneAnalyzer(params)
+    trajectory = analyzer.compose(max_switches=12)
+    samples = trajectory.sample(150)
+    print()
+    print(phase_plot(samples[:, 1] / 1e6, samples[:, 2] / 1e9,
+                     title="phase plane: x = q - q0 (Mbit) vs y = N r - C (Gbit/s)"))
+    t, q, _rate = trajectory.queue_time_series(150)
+    print(line_plot(t * 1e3, q / 1e6, reference=params.q0 / 1e6,
+                    title="queue length (Mbit) vs time (ms); '=' marks q0"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""The 802.1Qau shoot-out: BCN vs QCN vs E2CM vs FERA vs binary AIMD.
+
+Section II of the paper surveys the four congestion-management
+proposals then before the 802.1Qau working group.  This example runs
+all of them (plus the Chiu-Jain binary-AIMD reference point) on an
+identical dumbbell and prints the trade-off table — queue behaviour vs
+fairness vs control overhead — together with the queue traces, then
+contrasts Theorem 1 with the buffer-blind linear verdict of [4].
+
+Run with::
+
+    python examples/scheme_shootout.py
+"""
+
+from repro.baselines import (
+    AIMDParams,
+    E2CMParams,
+    FERAParams,
+    QCNParams,
+    linear_verdict,
+    run_aimd_dumbbell,
+    run_bcn_dumbbell,
+    run_e2cm_dumbbell,
+    run_fera_dumbbell,
+    run_qcn_dumbbell,
+)
+from repro.core import paper_example_params, required_buffer, theorem1_criterion
+from repro.viz import format_table, line_plot
+
+
+def main() -> None:
+    params = paper_example_params()
+    c, n, q0, buf = params.capacity, params.n_flows, params.q0, params.buffer_size
+    duration = 0.03
+    settle = duration / 2
+
+    runs = {
+        "bcn": run_bcn_dumbbell(params, duration),
+        "qcn": run_qcn_dumbbell(
+            QCNParams(capacity=c, n_flows=n, q0=q0, buffer_bits=buf), duration),
+        "e2cm": run_e2cm_dumbbell(
+            E2CMParams(capacity=c, n_flows=n, q0=q0, buffer_bits=buf), duration),
+        "fera": run_fera_dumbbell(
+            FERAParams(capacity=c, n_flows=n, buffer_bits=buf, q0=q0), duration),
+        "aimd": run_aimd_dumbbell(
+            AIMDParams(capacity=c, n_flows=n, q0=q0, buffer_bits=buf), duration),
+    }
+
+    rows = []
+    for name, res in runs.items():
+        rows.append([
+            name,
+            res.utilization(),
+            res.queue_mean(settle=settle) / 1e6,
+            res.queue_std(settle=settle) / 1e6,
+            res.dropped_frames,
+            res.jain_fairness(),
+            res.control_messages,
+        ])
+    print(format_table(
+        ["scheme", "util", "q mean (Mb)", "q std (Mb)", "drops", "fairness", "msgs"],
+        rows,
+    ))
+
+    for name in ("bcn", "fera"):
+        res = runs[name]
+        print()
+        print(line_plot(res.t * 1e3, res.queue / 1e6, reference=q0 / 1e6,
+                        title=f"{name}: queue (Mbit) vs time (ms)", height=10))
+
+    print("\n--- stability criteria on the same configuration ---")
+    small = params.with_(buffer_size=5e6, q_sc=None)
+    for label, cfg in (("20 Mbit buffer", params), ("5 Mbit buffer", small)):
+        lv = linear_verdict(cfg)
+        print(f"{label}: linear analysis [4] says stable={lv.stable}; "
+              f"Theorem 1 says ok={theorem1_criterion(cfg)} "
+              f"(needs {required_buffer(cfg) / 1e6:.1f} Mbit)")
+    print("-> the linear analysis cannot see the buffer at all; "
+          "Theorem 1 rejects the configuration that would drop packets.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""repro — Phase-plane analysis of BCN congestion control in DCE networks.
+
+A full reproduction of Ren & Jiang, "Phase Plane Analysis of Congestion
+Control in Data Center Ethernet Networks" (ICDCS 2010): the fluid-flow
+model of the BCN mechanism, the strong-stability theory (Definition 1,
+Propositions 2-4, Theorem 1), the six-case phase-plane taxonomy, the
+limit-cycle return map — plus the substrates needed to exercise it all:
+a packet-level DCE simulator, data-center topologies, workload
+generators and the contemporaneous baseline schemes (QCN, E2CM, FERA).
+
+Quickstart
+----------
+>>> from repro import paper_example_params, strong_stability_report
+>>> report = strong_stability_report(paper_example_params())
+>>> report.theorem1_buffer / 1e6  # Mbit, the paper reports ~13.75
+13.8...
+"""
+
+from .core import (
+    PAPER_EXAMPLE,
+    BCNParams,
+    LimitCycle,
+    NormalizedParams,
+    PaperCase,
+    PhasePlaneAnalyzer,
+    PiecewiseTrajectory,
+    StabilityReport,
+    classify_case,
+    find_limit_cycle,
+    is_strongly_stable,
+    max_queue_bound,
+    paper_example_params,
+    required_buffer,
+    strong_stability_report,
+    theorem1_criterion,
+)
+from .fluid import FluidTrajectory, simulate_fluid
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "BCNParams",
+    "NormalizedParams",
+    "PAPER_EXAMPLE",
+    "paper_example_params",
+    "PaperCase",
+    "classify_case",
+    "PhasePlaneAnalyzer",
+    "PiecewiseTrajectory",
+    "StabilityReport",
+    "strong_stability_report",
+    "is_strongly_stable",
+    "theorem1_criterion",
+    "required_buffer",
+    "max_queue_bound",
+    "LimitCycle",
+    "find_limit_cycle",
+    "FluidTrajectory",
+    "simulate_fluid",
+]

@@ -1,0 +1,46 @@
+"""Metrics, parameter sweeps and fluid-vs-packet validation."""
+
+from .metrics import (
+    OscillationSummary,
+    amplitude_decay_ratio,
+    find_peaks,
+    jain_index,
+    oscillation_period,
+    overshoot,
+    settling_time,
+    summarize_oscillation,
+    undershoot,
+)
+from .sensitivity import METRICS, PARAMETERS, elasticity, sensitivity_table
+from .reporting import ReportEntry, ReproductionReport, run_reproduction_report
+from .fairness import TwoFlowTrajectory, fairness_trajectory, simulate_two_flows
+from .sweeps import SweepResult, grid, sweep
+from .validation import AgreementReport, compare_series, fluid_vs_packet
+
+__all__ = [
+    "overshoot",
+    "undershoot",
+    "settling_time",
+    "find_peaks",
+    "oscillation_period",
+    "amplitude_decay_ratio",
+    "jain_index",
+    "OscillationSummary",
+    "summarize_oscillation",
+    "SweepResult",
+    "sweep",
+    "grid",
+    "AgreementReport",
+    "compare_series",
+    "fluid_vs_packet",
+    "TwoFlowTrajectory",
+    "simulate_two_flows",
+    "fairness_trajectory",
+    "ReproductionReport",
+    "ReportEntry",
+    "run_reproduction_report",
+    "elasticity",
+    "sensitivity_table",
+    "METRICS",
+    "PARAMETERS",
+]

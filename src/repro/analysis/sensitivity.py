@@ -1,0 +1,114 @@
+"""Parameter sensitivity of the BCN loop's key figures of merit.
+
+The paper's Remarks sketch how each knob moves the system (``max q``
+grows with ``sqrt(N/C)``, ``w``/``pm`` touch only transients, ``q0``
+trades warm-up time against buffer need); its conclusion promises a
+fuller study as future work.  This module computes the full local
+sensitivity picture:
+
+* **elasticities** — logarithmic derivatives
+  ``d ln(metric) / d ln(parameter)`` of any metric with respect to any
+  physical knob, by central finite differences; an elasticity of 0.5
+  means "metric grows like sqrt(parameter)";
+* built-in metrics: Theorem 1's required buffer, the exact transient
+  queue peak, the per-round contraction, and the 1% settling time;
+* :func:`sensitivity_table` — the all-pairs matrix, which reproduces
+  the Remarks' claims as numbers: buffer elasticity 0.5 in ``N``, -0.5
+  in ``C`` (beyond the q0 floor), exactly 0 in ``w`` and ``pm``, while
+  the settling time responds to ``w``/``pm`` alone.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ..core.limit_cycle import linearized_contraction
+from ..core.parameters import BCNParams
+from ..core.phase_plane import PhasePlaneAnalyzer
+from ..core.stability import required_buffer
+from ..core.transient import settling_time
+
+__all__ = ["METRICS", "PARAMETERS", "elasticity", "sensitivity_table"]
+
+
+def _metric_required_buffer(params: BCNParams) -> float:
+    return required_buffer(params)
+
+
+def _metric_queue_peak(params: BCNParams) -> float:
+    traj = PhasePlaneAnalyzer(params).compose(max_switches=12)
+    return params.q0 + max(0.0, traj.max_x())
+
+
+def _metric_contraction(params: BCNParams) -> float:
+    return linearized_contraction(params.normalized())
+
+
+def _metric_settling(params: BCNParams) -> float:
+    return settling_time(params.normalized())
+
+
+#: Figure-of-merit name -> callable.
+METRICS: dict[str, Callable[[BCNParams], float]] = {
+    "required_buffer": _metric_required_buffer,
+    "queue_peak": _metric_queue_peak,
+    "contraction": _metric_contraction,
+    "settling_time": _metric_settling,
+}
+
+#: Physical knobs a network manager can turn.
+PARAMETERS = ("n_flows", "capacity", "q0", "gi", "gd", "ru", "w", "pm")
+
+
+def elasticity(
+    params: BCNParams,
+    metric: str | Callable[[BCNParams], float],
+    parameter: str,
+    *,
+    rel_step: float = 0.02,
+) -> float:
+    """Logarithmic sensitivity ``d ln(metric)/d ln(parameter)``.
+
+    Central differences with a multiplicative step.  Integer parameters
+    (``n_flows``) are treated continuously through their effect on the
+    derived constants (the fluid model itself is continuous in N).
+    """
+    fn = METRICS[metric] if isinstance(metric, str) else metric
+    base_value = getattr(params, parameter)
+    if base_value <= 0:
+        raise ValueError(f"{parameter} must be positive for elasticity")
+    up_value = base_value * (1.0 + rel_step)
+    down_value = base_value * (1.0 - rel_step)
+    if parameter == "n_flows":
+        # keep the dataclass integral but difference across +-1 flow if
+        # the relative step would round to nothing
+        up_value = max(int(round(up_value)), int(base_value) + 1)
+        down_value = min(int(round(down_value)), int(base_value) - 1)
+        if down_value < 1:
+            raise ValueError("n_flows too small for a central difference")
+    up = fn(params.with_(**{parameter: up_value}))
+    down = fn(params.with_(**{parameter: down_value}))
+    if up <= 0 or down <= 0:
+        raise ValueError("metric must stay positive across the step")
+    return (math.log(up) - math.log(down)) / (
+        math.log(up_value) - math.log(down_value)
+    )
+
+
+def sensitivity_table(
+    params: BCNParams,
+    *,
+    metrics: list[str] | None = None,
+    parameters: list[str] | None = None,
+) -> dict[str, dict[str, float]]:
+    """All-pairs elasticity matrix: ``{metric: {parameter: value}}``."""
+    chosen_metrics = metrics if metrics is not None else list(METRICS)
+    chosen_params = parameters if parameters is not None else list(PARAMETERS)
+    table: dict[str, dict[str, float]] = {}
+    for metric in chosen_metrics:
+        row: dict[str, float] = {}
+        for parameter in chosen_params:
+            row[parameter] = elasticity(params, metric, parameter)
+        table[metric] = row
+    return table

@@ -1,0 +1,51 @@
+"""Baseline congestion-control schemes and the linear analysis of [4].
+
+The other three 802.1Qau proposals — QCN (:mod:`.qcn`), E2CM
+(:mod:`.e2cm`) and FERA (:mod:`.fera`) — plus classic binary-feedback
+AIMD (:mod:`.aimd`), all runnable on a shared dumbbell harness
+(:mod:`.common`) with a BCN adapter (:mod:`.bcn`) for side-by-side
+comparison.  :mod:`.linear_analysis` reimplements the Lu et al. [4]
+linear stability analysis the paper argues against.
+"""
+
+from .aimd import AIMDParams, run_aimd_dumbbell
+from .bcn import run_bcn_dumbbell
+from .common import BaselineResult
+from .e2cm import E2CMParams, run_e2cm_dumbbell
+from .fera import FERAParams, run_fera_dumbbell
+from .linear_analysis import (
+    LinearVerdict,
+    gain_crossover,
+    linear_verdict,
+    nyquist_delay_margin,
+    routh_hurwitz_stable,
+)
+from .qcn import QCNParams, run_qcn_dumbbell
+from .qcn_fluid import (
+    QCNFluidParams,
+    QCNFluidTrajectory,
+    compare_bcn_qcn_fluid,
+    simulate_qcn_fluid,
+)
+
+__all__ = [
+    "BaselineResult",
+    "QCNParams",
+    "run_qcn_dumbbell",
+    "E2CMParams",
+    "run_e2cm_dumbbell",
+    "FERAParams",
+    "run_fera_dumbbell",
+    "AIMDParams",
+    "run_aimd_dumbbell",
+    "run_bcn_dumbbell",
+    "LinearVerdict",
+    "linear_verdict",
+    "routh_hurwitz_stable",
+    "nyquist_delay_margin",
+    "gain_crossover",
+    "QCNFluidParams",
+    "QCNFluidTrajectory",
+    "simulate_qcn_fluid",
+    "compare_bcn_qcn_fluid",
+]

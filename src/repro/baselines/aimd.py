@@ -1,0 +1,124 @@
+"""Classic binary-feedback AIMD (Chiu & Jain, 1989).
+
+The reference point BCN's rate law descends from: the switch feeds back
+a single congestion bit (queue above/below the reference), and every
+source applies additive increase / multiplicative decrease each control
+interval.  Chiu & Jain proved this converges to the efficiency line and
+oscillates around fairness; BCN's refinement is to modulate *how much*
+to move using the sigma measure.  Comparing the two shows what the
+proportional feedback buys (smaller oscillation at equal convergence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simulation.engine import Simulator
+from ..simulation.frames import EthernetFrame
+from ..simulation.link import Link
+from .common import BaselineResult, DumbbellRun, PacedSource, QueuedPort
+
+__all__ = ["AIMDParams", "AIMDPort", "AIMDScheme", "run_aimd_dumbbell"]
+
+
+@dataclass(frozen=True)
+class AIMDParams:
+    """Binary-feedback AIMD configuration."""
+
+    capacity: float
+    n_flows: int
+    q0: float
+    buffer_bits: float
+    control_interval: float = 1e-3
+    additive_step: float = 10e6  #: bits/s added per uncongested interval
+    decrease_factor: float = 0.5  #: rate multiplier on congestion
+    min_rate: float = 1e5
+
+
+@dataclass(frozen=True)
+class BinaryFeedback:
+    """One congestion bit, broadcast each control interval."""
+
+    congested: bool
+    sent_at: float
+
+
+class AIMDPort(QueuedPort):
+    """Switch that broadcasts one congestion bit per control interval."""
+
+    def __init__(self, sim: Simulator, params: AIMDParams, forward) -> None:
+        super().__init__(
+            sim,
+            capacity=params.capacity,
+            buffer_bits=params.buffer_bits,
+            forward=forward,
+        )
+        self.p = params
+        self._links: list[Link] = []
+        self.broadcasts = 0
+        sim.schedule(params.control_interval, self._broadcast)
+
+    def register_link(self, link: Link) -> None:
+        self._links.append(link)
+
+    def _broadcast(self) -> None:
+        congested = self.queue_bits > self.p.q0
+        fb = BinaryFeedback(congested, self.sim.now)
+        for link in self._links:
+            link.transmit(fb)
+        self.broadcasts += len(self._links)
+        self.sim.schedule(self.p.control_interval, self._broadcast)
+
+
+class AIMDScheme:
+    """Adapter wiring binary AIMD into the shared dumbbell harness."""
+
+    def __init__(self, params: AIMDParams) -> None:
+        self.p = params
+        self.port: AIMDPort | None = None
+
+    def make_port(self, sim: Simulator, forward) -> AIMDPort:
+        self.port = AIMDPort(sim, self.p, forward)
+        return self.port
+
+    def attach_source(
+        self, sim: Simulator, port: QueuedPort, source: PacedSource, delay: float
+    ) -> None:
+        assert isinstance(port, AIMDPort)
+        p = self.p
+
+        def on_feedback(fb: BinaryFeedback) -> None:
+            if fb.congested:
+                source.set_rate(max(source.rate * p.decrease_factor, p.min_rate))
+            else:
+                source.set_rate(source.rate + p.additive_step)
+
+        port.register_link(Link(sim, delay, on_feedback))
+
+    @property
+    def control_messages(self) -> int:
+        return self.port.broadcasts if self.port is not None else 0
+
+
+def run_aimd_dumbbell(
+    params: AIMDParams,
+    duration: float,
+    *,
+    initial_rate: float | None = None,
+    frame_bits: int = 1500 * 8,
+    propagation_delay: float = 0.5e-6,
+) -> BaselineResult:
+    """Run the binary-feedback AIMD dumbbell scenario."""
+    if initial_rate is None:
+        initial_rate = 1.5 * params.capacity / params.n_flows
+    scheme = AIMDScheme(params)
+    run = DumbbellRun(
+        scheme,
+        name="aimd",
+        capacity=params.capacity,
+        n_flows=params.n_flows,
+        initial_rate=initial_rate,
+        frame_bits=frame_bits,
+        propagation_delay=propagation_delay,
+    )
+    return run.run(duration)

@@ -1,0 +1,45 @@
+"""BCN adapter producing the common baseline result shape.
+
+Wraps :class:`repro.simulation.network.BCNNetworkSimulator` so the
+scheme-comparison experiments can place BCN next to QCN, E2CM, FERA and
+binary AIMD with identical metrics.
+"""
+
+from __future__ import annotations
+
+from ..core.parameters import BCNParams
+from ..simulation.network import BCNNetworkSimulator
+from .common import BaselineResult
+
+__all__ = ["run_bcn_dumbbell"]
+
+
+def run_bcn_dumbbell(
+    params: BCNParams,
+    duration: float,
+    *,
+    initial_rate: float | None = None,
+    frame_bits: int = 1500 * 8,
+    propagation_delay: float = 0.5e-6,
+    regulator_mode: str = "message",
+) -> BaselineResult:
+    """Run the BCN dumbbell and return the common result shape."""
+    net = BCNNetworkSimulator(
+        params,
+        frame_bits=frame_bits,
+        propagation_delay=propagation_delay,
+        initial_rate=initial_rate,
+        regulator_mode=regulator_mode,
+    )
+    res = net.run(duration)
+    return BaselineResult(
+        scheme="bcn",
+        t=res.t,
+        queue=res.queue,
+        per_source_rate=res.per_source_rate,
+        dropped_frames=res.dropped_frames,
+        delivered_bits=res.delivered_bits,
+        duration=res.duration,
+        capacity=res.capacity,
+        control_messages=res.bcn_negative + res.bcn_positive,
+    )

@@ -1,0 +1,162 @@
+"""FERA — Forward Explicit Rate Advertising (Jain et al., ICC 2008).
+
+FERA is the odd one out among the 802.1Qau proposals: instead of
+feeding queue dynamics back for AIMD, the switch *computes* each flow's
+allowed rate (a variant of the ERICA algorithm from ATM ABR) and
+advertises it explicitly.  Per measurement interval ``T`` the switch:
+
+1. measures the input rate ``lambda`` and counts active flows ``N_a``;
+2. computes the overload factor ``z = lambda / (eta * C)`` with target
+   utilisation ``eta`` (ERICA uses 0.9-0.95);
+3. computes ``fair_share = eta * C / N_a`` and, per flow,
+   ``vc_share = flow_rate / z``;
+4. advertises ``ER = max(fair_share, vc_share)`` (capped at ``eta*C``),
+   which drives the system towards max-min fairness at the target
+   utilisation.
+
+We advertise backwards to the sources directly (the original sends the
+rate forward in frame tags and the receiver reflects it; the loop delay
+difference is one RTT, negligible at DCE scales — recorded as a
+substitution).  Sources set their rate to the advertisement
+immediately: no AIMD, no oscillation around ``q0`` — but also no
+control of the *queue*, which is why ERICA adds a queue-drain term we
+include as an optional correction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simulation.engine import Simulator
+from ..simulation.frames import EthernetFrame
+from ..simulation.link import Link
+from .common import BaselineResult, DumbbellRun, PacedSource, QueuedPort
+
+__all__ = ["FERAParams", "FERAPort", "FERAScheme", "run_fera_dumbbell"]
+
+
+@dataclass(frozen=True)
+class FERAParams:
+    """FERA/ERICA configuration."""
+
+    capacity: float
+    n_flows: int
+    buffer_bits: float
+    target_utilization: float = 0.95
+    measurement_interval: float = 1e-3
+    q0: float = 0.0  #: optional queue-drain target (0 disables the term)
+    queue_drain_gain: float = 0.1
+    min_rate: float = 1e5
+
+
+@dataclass(frozen=True)
+class RateAdvertisement:
+    """Explicit-rate message to one source."""
+
+    da: int
+    explicit_rate: float
+    sent_at: float
+
+
+class FERAPort(QueuedPort):
+    """FERA switch: periodic per-flow explicit-rate computation."""
+
+    def __init__(self, sim: Simulator, params: FERAParams, forward) -> None:
+        super().__init__(
+            sim,
+            capacity=params.capacity,
+            buffer_bits=params.buffer_bits,
+            forward=forward,
+        )
+        self.p = params
+        self._links: dict[int, Link] = {}
+        self._bits_in: dict[int, float] = {}
+        self.advertisements_sent = 0
+        self.on_arrival = self._arrival
+        sim.schedule(params.measurement_interval, self._advertise)
+
+    def register_link(self, address: int, link: Link) -> None:
+        self._links[address] = link
+
+    def _arrival(self, frame: EthernetFrame, accepted: bool) -> None:
+        self._bits_in[frame.src] = (
+            self._bits_in.get(frame.src, 0.0) + frame.size_bits
+        )
+
+    def _advertise(self) -> None:
+        p = self.p
+        interval = p.measurement_interval
+        total_in = sum(self._bits_in.values())
+        input_rate = total_in / interval
+        active = [src for src, bits in self._bits_in.items() if bits > 0]
+        n_active = max(1, len(active))
+
+        target = p.target_utilization * p.capacity
+        if p.q0 > 0:
+            # ERICA+-style queue-drain correction: divert capacity to
+            # draining the backlog above q0.
+            backlog = self.queue_bits - p.q0
+            target = max(0.1 * p.capacity, target - p.queue_drain_gain * backlog / interval)
+        z = max(input_rate / target, 1e-9)
+        fair_share = target / n_active
+
+        for src in active:
+            flow_rate = self._bits_in[src] / interval
+            vc_share = flow_rate / z
+            er = min(max(fair_share, vc_share), target)
+            link = self._links.get(src)
+            if link is not None:
+                link.transmit(RateAdvertisement(src, er, self.sim.now))
+                self.advertisements_sent += 1
+        self._bits_in.clear()
+        self.sim.schedule(interval, self._advertise)
+
+
+class FERAScheme:
+    """Adapter wiring FERA into the shared dumbbell harness."""
+
+    def __init__(self, params: FERAParams) -> None:
+        self.p = params
+        self.port: FERAPort | None = None
+
+    def make_port(self, sim: Simulator, forward) -> FERAPort:
+        self.port = FERAPort(sim, self.p, forward)
+        return self.port
+
+    def attach_source(
+        self, sim: Simulator, port: QueuedPort, source: PacedSource, delay: float
+    ) -> None:
+        assert isinstance(port, FERAPort)
+
+        def on_advertisement(msg: RateAdvertisement) -> None:
+            source.set_rate(max(msg.explicit_rate, self.p.min_rate))
+
+        port.register_link(source.address, Link(sim, delay, on_advertisement))
+
+    @property
+    def control_messages(self) -> int:
+        return self.port.advertisements_sent if self.port is not None else 0
+
+
+def run_fera_dumbbell(
+    params: FERAParams,
+    duration: float,
+    *,
+    initial_rate: float | None = None,
+    frame_bits: int = 1500 * 8,
+    propagation_delay: float = 0.5e-6,
+) -> BaselineResult:
+    """Run the FERA dumbbell scenario."""
+    if initial_rate is None:
+        initial_rate = 1.5 * params.capacity / params.n_flows
+    scheme = FERAScheme(params)
+    run = DumbbellRun(
+        scheme,
+        name="fera",
+        capacity=params.capacity,
+        n_flows=params.n_flows,
+        initial_rate=initial_rate,
+        frame_bits=frame_bits,
+        propagation_delay=propagation_delay,
+    )
+    return run.run(duration)

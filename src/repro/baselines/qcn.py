@@ -1,0 +1,194 @@
+"""QCN — Quantized Congestion Notification (802.1Qau proposal 4).
+
+QCN keeps BCN's queue-based congestion measure but (a) quantizes the
+feedback to a few bits and (b) sends **only negative** feedback; rate
+*recovery* is driven autonomously at the reaction point by a byte
+counter, through Fast Recovery then Active Increase stages (the design
+later standardised in 802.1Qau).  Implemented here:
+
+Congestion point (:class:`QCNPort`)
+    Samples arriving frames every ``sample_interval_bits``; computes
+    ``Fb = -(q_off + w * q_delta)`` with ``q_off = q - q0``; quantizes
+    to ``fb_bits``; when ``Fb < 0`` sends a congestion notification
+    message (CNM) carrying ``|Fb|`` to the sampled frame's source.
+
+Reaction point (:class:`QCNRegulator`)
+    On CNM: ``target_rate <- current_rate``, then
+    ``current_rate *= (1 - Gd * |Fb|/Fb_max ... )`` — per the spec,
+    ``current_rate *= (1 - Gd * qFb)`` with ``Gd * qFb_max = 1/2``.
+    Recovery: every ``bc_limit`` bits sent counts one cycle; the first
+    ``fast_recovery_cycles`` cycles average current toward target
+    (Fast Recovery); afterwards target additionally grows by ``r_ai``
+    (Active Increase).  The optional recovery *timer* of the spec is
+    omitted (byte-counter recovery dominates at data-center speeds; the
+    omission only slows recovery of nearly-silent sources).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simulation.engine import Simulator
+from ..simulation.frames import EthernetFrame
+from ..simulation.link import Link
+from .common import BaselineResult, DumbbellRun, PacedSource, QueuedPort
+
+__all__ = ["QCNParams", "QCNPort", "QCNRegulator", "QCNScheme", "run_qcn_dumbbell"]
+
+
+@dataclass(frozen=True)
+class QCNParams:
+    """QCN configuration (defaults follow the 802.1Qau discussions)."""
+
+    capacity: float
+    n_flows: int
+    q0: float
+    buffer_bits: float
+    w: float = 2.0
+    sample_interval_bits: float = 150e3 * 8  #: ~150 kB between samples
+    fb_bits: int = 6
+    gd: float = 1.0 / 128.0
+    bc_limit_bits: float = 150e3 * 8  #: byte-counter cycle length
+    fast_recovery_cycles: int = 5
+    r_ai: float = 5e6  #: Active Increase step in bits/s
+    min_rate: float = 1e5
+
+    @property
+    def fb_max(self) -> int:
+        return 2 ** (self.fb_bits - 1)
+
+
+@dataclass(frozen=True)
+class CNMessage:
+    """QCN congestion notification message (negative feedback only)."""
+
+    da: int
+    fb_quantized: int  #: |Fb| after quantization, in [1, fb_max]
+    sent_at: float
+
+
+class QCNRegulator:
+    """QCN reaction point: multiplicative decrease + self-clocked recovery."""
+
+    def __init__(self, params: QCNParams, source: PacedSource) -> None:
+        self.p = params
+        self.source = source
+        self.target_rate = source.rate
+        self._bits_since_cycle = 0.0
+        self._cycles_since_congestion = 0
+
+    def on_cnm(self, message: CNMessage) -> None:
+        """Multiplicative decrease; resets the recovery state machine."""
+        rate = self.source.rate
+        self.target_rate = rate
+        factor = 1.0 - self.p.gd * message.fb_quantized
+        self.source.set_rate(max(rate * factor, self.p.min_rate))
+        self._cycles_since_congestion = 0
+        self._bits_since_cycle = 0.0
+
+    def on_bits_sent(self, bits: float) -> None:
+        """Byte-counter clock driving Fast Recovery / Active Increase."""
+        self._bits_since_cycle += bits
+        if self._bits_since_cycle < self.p.bc_limit_bits:
+            return
+        self._bits_since_cycle -= self.p.bc_limit_bits
+        self._cycles_since_congestion += 1
+        if self._cycles_since_congestion > self.p.fast_recovery_cycles:
+            self.target_rate += self.p.r_ai  # Active Increase
+        self.source.set_rate((self.source.rate + self.target_rate) / 2.0)
+
+
+class QCNPort(QueuedPort):
+    """QCN congestion point: quantized, negative-only feedback."""
+
+    def __init__(self, sim: Simulator, params: QCNParams, forward) -> None:
+        super().__init__(
+            sim,
+            capacity=params.capacity,
+            buffer_bits=params.buffer_bits,
+            forward=forward,
+        )
+        self.p = params
+        self._bits_since_sample = 0.0
+        self._q_old = 0.0
+        self.cnm_sent = 0
+        self._links: dict[int, Link] = {}
+        self.on_arrival = self._arrival
+
+    def register_link(self, address: int, link: Link) -> None:
+        self._links[address] = link
+
+    def _arrival(self, frame: EthernetFrame, accepted: bool) -> None:
+        self._bits_since_sample += frame.size_bits
+        if self._bits_since_sample < self.p.sample_interval_bits:
+            return
+        self._bits_since_sample = 0.0
+        q = self.queue_bits
+        fb = -((q - self.p.q0) + self.p.w * (q - self._q_old))
+        self._q_old = q
+        if fb >= 0:
+            return  # QCN sends no positive feedback
+        # Quantize |Fb| against the full-scale offset 2*q0 (spec scaling).
+        unit = 2.0 * self.p.q0 / self.p.fb_max
+        quantum = min(self.p.fb_max, max(1, round(-fb / unit)))
+        link = self._links.get(frame.src)
+        if link is not None:
+            link.transmit(CNMessage(frame.src, quantum, self.sim.now))
+            self.cnm_sent += 1
+
+
+class QCNScheme:
+    """Adapter wiring QCN into the shared dumbbell harness."""
+
+    def __init__(self, params: QCNParams) -> None:
+        self.p = params
+        self.port: QCNPort | None = None
+        self.regulators: list[QCNRegulator] = []
+
+    def make_port(self, sim: Simulator, forward) -> QCNPort:
+        self.port = QCNPort(sim, self.p, forward)
+        return self.port
+
+    def attach_source(
+        self, sim: Simulator, port: QueuedPort, source: PacedSource, delay: float
+    ) -> None:
+        assert isinstance(port, QCNPort)
+        regulator = QCNRegulator(self.p, source)
+        self.regulators.append(regulator)
+        back = Link(sim, delay, regulator.on_cnm)
+        port.register_link(source.address, back)
+        original_emit = source._emit
+
+        def emit_with_counter() -> None:
+            original_emit()
+            regulator.on_bits_sent(source.frame_bits)
+
+        source._emit = emit_with_counter  # count bits for the BC clock
+
+    @property
+    def control_messages(self) -> int:
+        return self.port.cnm_sent if self.port is not None else 0
+
+
+def run_qcn_dumbbell(
+    params: QCNParams,
+    duration: float,
+    *,
+    initial_rate: float | None = None,
+    frame_bits: int = 1500 * 8,
+    propagation_delay: float = 0.5e-6,
+) -> BaselineResult:
+    """Run the QCN dumbbell scenario and return the common result shape."""
+    if initial_rate is None:
+        initial_rate = 1.5 * params.capacity / params.n_flows
+    scheme = QCNScheme(params)
+    run = DumbbellRun(
+        scheme,
+        name="qcn",
+        capacity=params.capacity,
+        n_flows=params.n_flows,
+        initial_rate=initial_rate,
+        frame_bits=frame_bits,
+        propagation_delay=propagation_delay,
+    )
+    return run.run(duration)

@@ -1,0 +1,198 @@
+"""Fluid model of QCN, for analytic comparison with BCN.
+
+QCN (the proposal that eventually became 802.1Qau) differs from BCN in
+two structural ways the fluid level can capture:
+
+1. **negative-only feedback** — the switch never tells sources to speed
+   up; and
+2. **self-clocked recovery** — the reaction point raises its rate
+   towards a remembered ``target_rate`` on a byte-counter clock,
+   averaging ``r <- (r + target)/2`` every ``bc_limit`` sent bits.
+
+The resulting per-source fluid equations (following the style of the
+Alizadeh et al. QCN analyses, simplified to the byte-counter clock and
+aggregated over N homogeneous sources):
+
+.. math::
+
+    \\dot q = N r - C
+
+    \\dot r = \\underbrace{G_d\\,\\sigma_-(t)\\,r\\,\\lambda_s}_{\\text{decrease}}
+            + \\underbrace{\\frac{r}{2\\,T_{bc}(r)}\\,(r_T - r)\\ /\\ r}
+              _{\\text{recovery towards } r_T}
+
+where ``sigma_- = min(0, -(q - q0) - w dq)`` is the (negative-only)
+congestion measure, ``lambda_s`` the per-source sampling rate, and
+``T_bc(r) = bc\\_limit / r`` the byte-counter period.  The target-rate
+memory makes this a three-state system ``(q, r, r_T)``: on sustained
+congestion ``r_T`` tracks ``r`` down; in recovery ``r`` relaxes to
+``r_T`` at rate ``r / (2 T_bc)``.
+
+The point of the comparison: QCN's recovery clock gives a queue that
+*undershoots* after congestion (rates keep falling until the byte
+counter fires) and converges without positive feedback, while BCN needs
+``sigma > 0`` messages to recover — visible in
+:func:`compare_bcn_qcn_fluid`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+from ..core.parameters import BCNParams
+
+__all__ = ["QCNFluidParams", "QCNFluidTrajectory", "simulate_qcn_fluid",
+           "compare_bcn_qcn_fluid"]
+
+
+@dataclass(frozen=True)
+class QCNFluidParams:
+    """Fluid-level QCN configuration."""
+
+    capacity: float
+    n_flows: int
+    q0: float
+    buffer_size: float
+    w: float = 2.0
+    gd: float = 1.0 / 128.0
+    sample_interval_bits: float = 150e3 * 8
+    bc_limit_bits: float = 150e3 * 8
+    r_ai: float = 5e6  #: Active Increase step per byte-counter cycle
+    sigma_unit: float | None = None  #: defaults to q0/16 (6-bit style)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0 or self.n_flows < 1 or self.q0 <= 0:
+            raise ValueError("capacity, n_flows and q0 must be positive")
+        if self.q0 >= self.buffer_size:
+            raise ValueError("q0 must be below the buffer size")
+
+    @property
+    def effective_sigma_unit(self) -> float:
+        return self.q0 / 16.0 if self.sigma_unit is None else self.sigma_unit
+
+
+@dataclass
+class QCNFluidTrajectory:
+    """Sampled (q, r, r_T) trajectory of the QCN fluid model."""
+
+    params: QCNFluidParams
+    t: np.ndarray
+    q: np.ndarray
+    r: np.ndarray
+    target: np.ndarray
+
+    def queue_peak(self) -> float:
+        return float(self.q.max())
+
+    def queue_mean(self, *, settle: float = 0.0) -> float:
+        mask = self.t >= settle
+        return float(self.q[mask].mean())
+
+    def converged_near(self, level: float, *, rtol: float = 0.25) -> bool:
+        tail = self.q[self.t >= 0.75 * self.t[-1]]
+        return bool(abs(float(tail.mean()) - level) <= rtol * level)
+
+
+def simulate_qcn_fluid(
+    params: QCNFluidParams,
+    *,
+    initial_rate: float,
+    t_max: float,
+    q_0: float = 0.0,
+) -> QCNFluidTrajectory:
+    """Integrate the (q, r, r_T) QCN fluid model."""
+    p = params
+    c, n = p.capacity, p.n_flows
+    unit = p.effective_sigma_unit
+
+    def rhs(t, state):
+        q, r, r_t = state
+        q_eff = min(max(q, 0.0), p.buffer_size)
+        dq = n * r - c
+        if (q <= 0.0 and dq < 0.0) or (q >= p.buffer_size and dq > 0.0):
+            dq = 0.0
+        # Negative-only congestion measure in FB quanta, with the queue
+        # variation taken over one sampling interval Ts = bits/C, and
+        # clamped like the 6-bit wire field.
+        ts = p.sample_interval_bits / c
+        fb = -((q_eff - p.q0) + p.w * dq * ts) / unit
+        fb = max(-32.0, min(0.0, fb))
+        # Per-CNM step: r <- r (1 + Gd fb) with fb <= 0, delivered at
+        # the per-source CNM rate lambda_s = r / sample_interval, so the
+        # fluid decrease is dr = Gd fb r lambda_s.
+        lam_s = r / p.sample_interval_bits
+        decrease = p.gd * fb * r * lam_s
+        # Recovery: every bc_limit bits the gap to target halves,
+        # i.e. relaxes at rate r / (2 * bc_limit).
+        recovery = (r_t - r) * (r / (2.0 * p.bc_limit_bits))
+        dr = decrease + recovery
+        # Target memory: under congestion CNMs reset r_T towards the
+        # current rate at the message rate; in quiet periods Active
+        # Increase grows the target by r_ai once per byte-counter cycle.
+        if fb < 0.0:
+            dr_t = (r - r_t) * lam_s
+        else:
+            dr_t = p.r_ai * (r / p.bc_limit_bits)
+        return [dq, dr, dr_t]
+
+    ts = np.linspace(0.0, t_max, 4000)
+    sol = solve_ivp(rhs, (0.0, t_max), [q_0, initial_rate, initial_rate],
+                    t_eval=ts, rtol=1e-8, atol=1e-6 * c,
+                    max_step=t_max / 2000.0)
+    return QCNFluidTrajectory(
+        params=p,
+        t=sol.t,
+        q=np.clip(sol.y[0], 0.0, p.buffer_size),
+        r=np.maximum(sol.y[1], 0.0),
+        target=np.maximum(sol.y[2], 0.0),
+    )
+
+
+def compare_bcn_qcn_fluid(
+    bcn_params: BCNParams,
+    *,
+    duration: float,
+    initial_rate_factor: float = 1.5,
+) -> dict:
+    """Run the BCN and QCN fluid models from matched overload starts.
+
+    Returns a dict with both queue series and summary metrics, used by
+    the scheme-comparison analyses and tests.
+    """
+    from ..fluid.integrate import simulate_fluid
+
+    c, n = bcn_params.capacity, bcn_params.n_flows
+    r0 = initial_rate_factor * c / n
+
+    bcn = simulate_fluid(
+        bcn_params.normalized(),
+        x0=-bcn_params.q0,
+        y0=n * r0 - c,
+        t_max=duration,
+        mode="physical",
+        max_switches=5000,
+    )
+    qcn = simulate_qcn_fluid(
+        QCNFluidParams(
+            capacity=c,
+            n_flows=n,
+            q0=bcn_params.q0,
+            buffer_size=bcn_params.buffer_size,
+            w=bcn_params.w,
+            gd=bcn_params.gd,
+        ),
+        initial_rate=r0,
+        t_max=duration,
+    )
+    return {
+        "bcn_t": bcn.t,
+        "bcn_q": bcn.queue(),
+        "qcn_t": qcn.t,
+        "qcn_q": qcn.q,
+        "bcn_peak": bcn.queue_peak(),
+        "qcn_peak": qcn.queue_peak(),
+        "qcn_settles_near_q0": qcn.converged_near(bcn_params.q0, rtol=0.5),
+    }

@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``analyze``
+    Assess one BCN configuration: case, strong stability, Theorem 1
+    buffer requirement, transient profile, and optionally the phase
+    trajectory as ASCII art.
+``design``
+    Solve Theorem 1 for the free quantities: max flows, max Gi, min Gd,
+    max q0 for the given buffer.
+``simulate``
+    Run the packet-level dumbbell and report utilisation, queue
+    behaviour, drops and fairness.
+``experiments``
+    Run the paper-reproduction experiments (same as
+    ``python -m repro.experiments``).
+
+Examples
+--------
+::
+
+    python -m repro analyze --capacity 10e9 --flows 50 --q0 2.5e6 \\
+        --buffer 20e6 --plot
+    python -m repro design --capacity 10e9 --flows 50 --q0 2.5e6 --buffer 16e6
+    python -m repro simulate --capacity 1e9 --flows 10 --q0 1e6 \\
+        --buffer 8e6 --duration 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.design import design_report, max_flows, max_gi, max_q0, min_gd
+from .core.parameters import BCNParams
+from .core.phase_plane import PhasePlaneAnalyzer
+from .core.stability import required_buffer, strong_stability_report
+from .core.transient import transient_report
+from .simulation.network import BCNNetworkSimulator
+from .viz.ascii import line_plot, phase_plot
+from .viz.series import format_table
+
+__all__ = ["main"]
+
+
+def _add_param_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--capacity", type=float, required=True,
+                        help="bottleneck capacity C in bits/s")
+    parser.add_argument("--flows", type=int, required=True,
+                        help="number of homogeneous flows N")
+    parser.add_argument("--q0", type=float, required=True,
+                        help="reference queue length in bits")
+    parser.add_argument("--buffer", type=float, required=True,
+                        help="buffer size B in bits")
+    parser.add_argument("--w", type=float, default=2.0)
+    parser.add_argument("--pm", type=float, default=0.01)
+    parser.add_argument("--gi", type=float, default=4.0)
+    parser.add_argument("--gd", type=float, default=1.0 / 128.0)
+    parser.add_argument("--ru", type=float, default=8e6)
+
+
+def _params_from(args: argparse.Namespace) -> BCNParams:
+    return BCNParams(
+        capacity=args.capacity,
+        n_flows=args.flows,
+        q0=args.q0,
+        buffer_size=args.buffer,
+        w=args.w,
+        pm=args.pm,
+        gi=args.gi,
+        gd=args.gd,
+        ru=args.ru,
+    )
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    params = _params_from(args)
+    report = strong_stability_report(params)
+    print(f"case: {report.case.value} (Proposition {report.proposition})")
+    print(f"strongly stable: {report.strongly_stable}")
+    print(f"Theorem 1 satisfied: {report.theorem1_satisfied}")
+    print(f"required buffer: {report.theorem1_buffer:.6g} bits "
+          f"(configured {params.buffer_size:.6g})")
+    print(f"transient queue peak: {report.queue_peak:.6g} bits")
+    print(f"transient: {transient_report(params).summary()}")
+    if args.plot:
+        trajectory = PhasePlaneAnalyzer(params).compose(max_switches=12)
+        samples = trajectory.sample(150)
+        print(phase_plot(samples[:, 1], samples[:, 2],
+                         switching_k=params.normalized().k,
+                         title="phase plane (x = q - q0, y = N r - C)"))
+        t, q, _ = trajectory.queue_time_series(150)
+        print(line_plot(t, q, reference=params.q0, title="queue q(t)"))
+    return 0 if report.strongly_stable else 1
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    params = _params_from(args)
+    check = design_report(params)
+    print(check.render())
+    rows = [
+        ["required buffer (bits)", required_buffer(params)],
+        ["max flows at this buffer", max_flows(params)],
+        ["max Gi", max_gi(params)],
+        ["min Gd", min_gd(params)],
+        ["max q0 (bits)", max_q0(params)],
+    ]
+    print(format_table(["design quantity", "value"], rows))
+    return 0 if check.admitted else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    params = _params_from(args)
+    net = BCNNetworkSimulator(params, regulator_mode=args.mode)
+    result = net.run(args.duration)
+    settle = args.duration / 2
+    rows = [
+        ["utilization", result.utilization()],
+        ["queue peak (bits)", result.queue_peak()],
+        ["queue mean (settled)", result.queue_mean(settle=settle)],
+        ["queue std (settled)", result.queue_std(settle=settle)],
+        ["drops", result.dropped_frames],
+        ["negative BCN", result.bcn_negative],
+        ["positive BCN", result.bcn_positive],
+        ["PAUSE frames", result.pauses],
+        ["Jain fairness", result.jain_fairness()],
+    ]
+    print(format_table(["metric", "value"], rows))
+    if args.plot:
+        print(line_plot(result.t, result.queue, reference=params.q0,
+                        title="packet-level queue q(t)"))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.__main__ import main as experiments_main
+
+    argv = list(args.ids)
+    if args.csv:
+        argv += ["--csv", args.csv]
+    return experiments_main(argv)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.reporting import run_reproduction_report
+
+    report = run_reproduction_report(
+        args.ids or None, csv_dir=args.csv
+    )
+    path = report.write(args.out)
+    print(format_table(["id", "verdict", "wall", "title"],
+                       report.summary_rows()))
+    print(f"\nreport written to {path}")
+    return 0 if report.all_passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Phase-plane analysis of BCN congestion control "
+                    "(ICDCS 2010 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="assess one configuration")
+    _add_param_args(p_analyze)
+    p_analyze.add_argument("--plot", action="store_true")
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_design = sub.add_parser("design", help="invert Theorem 1")
+    _add_param_args(p_design)
+    p_design.set_defaults(func=_cmd_design)
+
+    p_sim = sub.add_parser("simulate", help="packet-level dumbbell run")
+    _add_param_args(p_sim)
+    p_sim.add_argument("--duration", type=float, default=0.05)
+    p_sim.add_argument("--mode", default="message",
+                       choices=["message", "fluid-euler", "fluid-exact"])
+    p_sim.add_argument("--plot", action="store_true")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_exp = sub.add_parser("experiments", help="run paper reproductions")
+    p_exp.add_argument("ids", nargs="*")
+    p_exp.add_argument("--csv")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_report = sub.add_parser(
+        "report", help="run all experiments into a markdown report")
+    p_report.add_argument("--out", default="REPORT.md")
+    p_report.add_argument("--csv", metavar="DIR")
+    p_report.add_argument("ids", nargs="*")
+    p_report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

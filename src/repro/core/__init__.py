@@ -1,0 +1,181 @@
+"""Core contribution: phase-plane analysis of BCN congestion control.
+
+This package implements the analytical machinery of the paper:
+parameterisation (:mod:`.parameters`), eigenstructure classification
+(:mod:`.eigen`), closed-form trajectories (:mod:`.trajectories`), the
+extremum formulas (:mod:`.extrema`), switching-line geometry
+(:mod:`.switching`), piecewise trajectory composition and the six-case
+taxonomy (:mod:`.phase_plane`), strong-stability theory — Propositions
+2-4 and Theorem 1 (:mod:`.stability`) — and limit-cycle analysis via a
+Poincaré return map (:mod:`.limit_cycle`).
+"""
+
+from .eigen import (
+    Eigenstructure,
+    FixedPointType,
+    Region,
+    characteristic_coefficients,
+    eigenstructure,
+    region_eigenstructure,
+)
+from .extrema import (
+    extremum_time,
+    extremum_x,
+    spiral_amplitude,
+    spiral_extremum_paper,
+    spiral_t_star,
+)
+from .limit_cycle import (
+    LimitCycle,
+    amplitude_scan,
+    contraction_ratio,
+    find_limit_cycle,
+    linearized_contraction,
+    return_map,
+)
+from .parameters import (
+    PAPER_EXAMPLE,
+    BCNParams,
+    NormalizedParams,
+    paper_example_params,
+)
+from .phase_plane import (
+    PaperCase,
+    PhasePlaneAnalyzer,
+    PiecewiseTrajectory,
+    Segment,
+    WarmupSegment,
+    classify_case,
+)
+from .stability import (
+    StabilityReport,
+    case1_excursion_bounds,
+    case2_peak_bound,
+    is_strongly_stable,
+    max_queue_bound,
+    proposition2_holds,
+    proposition3_holds,
+    proposition4_applies,
+    required_buffer,
+    strong_stability_report,
+    theorem1_criterion,
+)
+from .transient import (
+    TransientReport,
+    overshoot_ratio,
+    round_period,
+    settling_rounds,
+    settling_time,
+    transient_report,
+)
+from .case_map import CaseMap, case_boundaries, case_map
+from .phase_portrait import (
+    PhasePortrait,
+    VectorFieldGrid,
+    phase_portrait,
+    vector_field_grid,
+)
+from .lyapunov import (
+    crossing_energy_ratio,
+    decrease_energy,
+    decrease_energy_rate,
+    energy_along,
+    increase_energy,
+    increase_energy_rate,
+)
+from .design import (
+    DesignCheck,
+    design_report,
+    design_w,
+    headroom_ratio,
+    max_flows,
+    max_gi,
+    max_q0,
+    min_buffer,
+    min_gd,
+)
+from .switching import SwitchingLine
+from .trajectories import (
+    DegenerateTrajectory,
+    LinearTrajectory,
+    NodeTrajectory,
+    SpiralTrajectory,
+    linear_trajectory,
+    trajectory_for,
+)
+
+__all__ = [
+    "BCNParams",
+    "NormalizedParams",
+    "PAPER_EXAMPLE",
+    "paper_example_params",
+    "Region",
+    "FixedPointType",
+    "Eigenstructure",
+    "eigenstructure",
+    "region_eigenstructure",
+    "characteristic_coefficients",
+    "SwitchingLine",
+    "LinearTrajectory",
+    "SpiralTrajectory",
+    "NodeTrajectory",
+    "DegenerateTrajectory",
+    "linear_trajectory",
+    "trajectory_for",
+    "extremum_x",
+    "extremum_time",
+    "spiral_t_star",
+    "spiral_amplitude",
+    "spiral_extremum_paper",
+    "PaperCase",
+    "classify_case",
+    "PhasePlaneAnalyzer",
+    "PiecewiseTrajectory",
+    "Segment",
+    "WarmupSegment",
+    "StabilityReport",
+    "strong_stability_report",
+    "is_strongly_stable",
+    "theorem1_criterion",
+    "required_buffer",
+    "max_queue_bound",
+    "case1_excursion_bounds",
+    "case2_peak_bound",
+    "proposition2_holds",
+    "proposition3_holds",
+    "proposition4_applies",
+    "LimitCycle",
+    "find_limit_cycle",
+    "return_map",
+    "contraction_ratio",
+    "amplitude_scan",
+    "linearized_contraction",
+    "TransientReport",
+    "transient_report",
+    "round_period",
+    "settling_rounds",
+    "settling_time",
+    "overshoot_ratio",
+    "DesignCheck",
+    "design_report",
+    "design_w",
+    "headroom_ratio",
+    "max_flows",
+    "max_gi",
+    "max_q0",
+    "min_gd",
+    "min_buffer",
+    "increase_energy",
+    "increase_energy_rate",
+    "decrease_energy",
+    "decrease_energy_rate",
+    "energy_along",
+    "crossing_energy_ratio",
+    "PhasePortrait",
+    "VectorFieldGrid",
+    "phase_portrait",
+    "vector_field_grid",
+    "CaseMap",
+    "case_map",
+    "case_boundaries",
+]

@@ -1,0 +1,122 @@
+"""Parameter-space maps: the case taxonomy as a phase diagram.
+
+Section IV.C's six cases partition the ``(a, bC)`` plane by the single
+threshold ``4/k^2``; this module renders that partition as data — a
+classification grid plus the analytic boundary curves — together with
+quantitative overlays (per-round contraction, overshoot ratio, required
+buffer), the "bifurcation diagram" view of the whole analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .limit_cycle import linearized_contraction
+from .parameters import NormalizedParams
+from .phase_plane import PaperCase, classify_case
+from .stability import required_buffer
+from .transient import overshoot_ratio
+
+__all__ = ["CaseMap", "case_map", "case_boundaries"]
+
+_CASE_CODE = {
+    PaperCase.CASE1: 1,
+    PaperCase.CASE2: 2,
+    PaperCase.CASE3: 3,
+    PaperCase.CASE4: 4,
+    PaperCase.CASE5: 5,
+}
+
+
+@dataclass
+class CaseMap:
+    """Classification (and overlays) over an ``(a, b)`` grid.
+
+    Attributes
+    ----------
+    a_values, b_values:
+        Grid axes.
+    case_codes:
+        Integer case ids, shape ``(len(b_values), len(a_values))``.
+    contraction:
+        Per-round contraction where Case 1 applies, NaN elsewhere.
+    overshoot:
+        Overshoot ratio (eq. 36/38 based), 0 in the node cases.
+    buffer_ratio:
+        ``required_buffer / q0`` — Theorem 1 as a surface.
+    """
+
+    k: float
+    capacity: float
+    q0: float
+    a_values: np.ndarray
+    b_values: np.ndarray
+    case_codes: np.ndarray
+    contraction: np.ndarray
+    overshoot: np.ndarray
+    buffer_ratio: np.ndarray
+
+    def fraction_in_case(self, case: PaperCase) -> float:
+        """Fraction of grid points classified as ``case``."""
+        return float(np.mean(self.case_codes == _CASE_CODE[case]))
+
+    def to_ascii(self, *, title: str | None = None) -> str:
+        """Render the case partition as a character raster."""
+        lines = [title] if title else []
+        lines.append("   a ->  (rows: b, bottom-up)")
+        for i in range(self.case_codes.shape[0] - 1, -1, -1):
+            row = "".join(str(int(c)) for c in self.case_codes[i])
+            lines.append(f"b={self.b_values[i]:<9.3g} {row}")
+        return "\n".join(lines)
+
+
+def case_boundaries(k: float, capacity: float) -> dict[str, float]:
+    """The analytic thresholds splitting the plane (Section IV.C).
+
+    ``a* = 4/k^2`` (increase focus/node boundary) and
+    ``b* = 4/(k^2 C)`` (decrease boundary).
+    """
+    if k <= 0 or capacity <= 0:
+        raise ValueError("k and capacity must be positive")
+    return {"a_star": 4.0 / (k * k), "b_star": 4.0 / (k * k * capacity)}
+
+
+def case_map(
+    a_values: np.ndarray,
+    b_values: np.ndarray,
+    *,
+    k: float = 1.0,
+    capacity: float = 100.0,
+    q0: float = 10.0,
+) -> CaseMap:
+    """Classify and measure every point of an ``(a, b)`` grid."""
+    a_values = np.asarray(a_values, float)
+    b_values = np.asarray(b_values, float)
+    shape = (b_values.size, a_values.size)
+    codes = np.zeros(shape, dtype=int)
+    contraction = np.full(shape, np.nan)
+    overshoot = np.zeros(shape)
+    buffer_ratio = np.zeros(shape)
+    for i, b in enumerate(b_values):
+        for j, a in enumerate(a_values):
+            p = NormalizedParams(a=float(a), b=float(b), k=k,
+                                 capacity=capacity, q0=q0, buffer_size=1e12)
+            case = classify_case(p)
+            codes[i, j] = _CASE_CODE[case]
+            if case is PaperCase.CASE1:
+                contraction[i, j] = linearized_contraction(p)
+            overshoot[i, j] = overshoot_ratio(p)
+            buffer_ratio[i, j] = required_buffer(p) / q0
+    return CaseMap(
+        k=k,
+        capacity=capacity,
+        q0=q0,
+        a_values=a_values,
+        b_values=b_values,
+        case_codes=codes,
+        contraction=contraction,
+        overshoot=overshoot,
+        buffer_ratio=buffer_ratio,
+    )

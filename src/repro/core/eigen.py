@@ -1,0 +1,183 @@
+"""Eigenstructure of the linearised BCN subsystems.
+
+Both the rate-increase and rate-decrease subsystems linearise (eq. 9) to
+
+.. math::
+
+    \\dot x = y, \\qquad \\dot y = -n x - k n y
+
+whose characteristic equation is :math:`\\lambda^2 + k n \\lambda + n = 0`
+(eq. 35) with
+
+* ``n = a`` in the rate-increase region, and
+* ``n = b C`` in the rate-decrease region.
+
+Because the physical parameters are positive, both coefficients are
+positive, hence both subsystems are asymptotically stable in the classical
+(Lyapunov/Routh–Hurwitz) sense — Proposition 1.  What distinguishes the
+paper's six cases is the *shape* of the trajectories, decided by the
+discriminant :math:`(k n)^2 - 4 n = n (k^2 n - 4)`:
+
+==================  ======================  ==========================
+discriminant        eigenvalues             singular-point type
+==================  ======================  ==========================
+``k^2 n < 4``       complex conjugates      stable focus (log spiral)
+``k^2 n > 4``       distinct negative real  stable node  (parabola-like)
+``k^2 n = 4``       repeated negative real  stable degenerate node
+==================  ======================  ==========================
+"""
+
+from __future__ import annotations
+
+import cmath
+import enum
+import math
+from dataclasses import dataclass
+
+from .parameters import NormalizedParams
+
+__all__ = [
+    "Region",
+    "FixedPointType",
+    "Eigenstructure",
+    "characteristic_coefficients",
+    "eigenstructure",
+    "region_eigenstructure",
+]
+
+
+class Region(enum.Enum):
+    """Which side of the switching line the dynamics operate on."""
+
+    INCREASE = "increase"  #: sigma > 0, i.e. x + k y < 0
+    DECREASE = "decrease"  #: sigma < 0, i.e. x + k y > 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class FixedPointType(enum.Enum):
+    """Classification of the origin for a linearised subsystem."""
+
+    FOCUS = "focus"  #: complex eigenvalues, logarithmic-spiral orbits
+    NODE = "node"  #: two distinct negative real eigenvalues
+    DEGENERATE_NODE = "degenerate_node"  #: repeated negative real eigenvalue
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Eigenstructure:
+    """Eigenvalues and derived constants of one linearised subsystem.
+
+    Attributes
+    ----------
+    n:
+        The characteristic constant (``a`` or ``b*C``).
+    k:
+        Switching-line slope parameter; the damping term is ``k*n``.
+    kind:
+        :class:`FixedPointType` of the origin.
+    lambda1, lambda2:
+        Eigenvalues as complex numbers.  For a focus they are
+        ``alpha ± j beta``; for a node both are real with
+        ``lambda1 < lambda2 < 0``; for a degenerate node they coincide.
+    alpha, beta:
+        Real/imaginary parts for the focus case (``beta > 0``); for real
+        eigenvalues ``beta == 0`` and ``alpha`` is the mean eigenvalue.
+    """
+
+    n: float
+    k: float
+    kind: FixedPointType
+    lambda1: complex
+    lambda2: complex
+
+    @property
+    def m(self) -> float:
+        """Damping coefficient ``m = k * n`` of the characteristic eq."""
+        return self.k * self.n
+
+    @property
+    def discriminant(self) -> float:
+        """``m^2 - 4 n``; negative for a focus, positive for a node."""
+        return self.m * self.m - 4.0 * self.n
+
+    @property
+    def alpha(self) -> float:
+        """Real part of the eigenvalues (``-m/2``)."""
+        return -self.m / 2.0
+
+    @property
+    def beta(self) -> float:
+        """Imaginary part of the focus eigenvalues (0 for real ones)."""
+        return abs(self.lambda1.imag)
+
+    @property
+    def is_focus(self) -> bool:
+        return self.kind is FixedPointType.FOCUS
+
+    @property
+    def real_eigenvalues(self) -> tuple[float, float]:
+        """The real eigenvalues ``(lambda1, lambda2)``, node cases only."""
+        if self.is_focus:
+            raise ValueError("focus subsystem has no real eigenvalues")
+        return self.lambda1.real, self.lambda2.real
+
+    def natural_period(self) -> float:
+        """Period ``2*pi/beta`` of one full spiral revolution (focus only)."""
+        if not self.is_focus:
+            raise ValueError("natural_period is defined only for a focus")
+        return 2.0 * math.pi / self.beta
+
+
+def characteristic_coefficients(params: NormalizedParams, region: Region) -> tuple[float, float]:
+    """Return ``(m, n)`` of ``lambda^2 + m lambda + n = 0`` for a region.
+
+    ``m = k * n`` always holds in the BCN system (eq. 35), a structural
+    fact the stability proof leans on: it forces
+    ``lambda1 < lambda2 < -1/k`` in node cases so that node-region
+    trajectories cannot re-cross the switching line.
+    """
+    n = params.n_increase if region is Region.INCREASE else params.n_decrease
+    return params.k * n, n
+
+
+def eigenstructure(n: float, k: float, *, atol: float = 0.0) -> Eigenstructure:
+    """Classify the linear subsystem ``x'' + k n x' + n x = 0``.
+
+    Parameters
+    ----------
+    n, k:
+        Positive characteristic constants.
+    atol:
+        Absolute tolerance on the discriminant below which the subsystem
+        is treated as a degenerate node (exactly repeated eigenvalues).
+        The default 0 classifies exactly.
+    """
+    if n <= 0 or k <= 0:
+        raise ValueError(f"n and k must be positive, got n={n}, k={k}")
+    m = k * n
+    disc = m * m - 4.0 * n
+    if abs(disc) <= atol or disc == 0.0:
+        lam = -m / 2.0
+        return Eigenstructure(n=n, k=k, kind=FixedPointType.DEGENERATE_NODE,
+                              lambda1=complex(lam, 0.0), lambda2=complex(lam, 0.0))
+    if disc < 0:
+        root = cmath.sqrt(disc)
+        lam1 = (-m - root) / 2.0
+        lam2 = (-m + root) / 2.0
+        return Eigenstructure(n=n, k=k, kind=FixedPointType.FOCUS,
+                              lambda1=lam1, lambda2=lam2)
+    root_r = math.sqrt(disc)
+    lam1 = (-m - root_r) / 2.0  # the more negative eigenvalue
+    lam2 = (-m + root_r) / 2.0
+    return Eigenstructure(n=n, k=k, kind=FixedPointType.NODE,
+                          lambda1=complex(lam1, 0.0), lambda2=complex(lam2, 0.0))
+
+
+def region_eigenstructure(params: NormalizedParams, region: Region) -> Eigenstructure:
+    """Eigenstructure of the linearised dynamics in ``region``."""
+    _, n = characteristic_coefficients(params, region)
+    return eigenstructure(n, params.k)

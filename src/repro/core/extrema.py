@@ -1,0 +1,130 @@
+"""The paper's explicit extremum formulas (eqs. 18-20, 28 and 34).
+
+``x(t)`` attains a local extremum exactly when ``y(t) = dx/dt = 0``.  The
+paper derives, for each trajectory family, both the time ``t*`` of the
+extremum nearest the initial point and the extremum value itself:
+
+* focus: ``t*`` (eq. 18) and the spiral extrema ``max_x^s`` / ``min_x^s``
+  (eqs. 19-20),
+* node: the global extremum ``mum_x^p`` (eq. 28),
+* degenerate node: the unique extremum ``mum_x^u`` (eq. 34).
+
+This module implements those formulas *as printed* (so the tests can
+check them against the paper) next to numerically robust versions built
+on the closed-form trajectories of :mod:`repro.core.trajectories`.  The
+printed ``t*`` uses principal-value arctangents and is stated for initial
+points with ``x(0) != 0``; the robust versions work everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .eigen import Eigenstructure, FixedPointType
+from .trajectories import (
+    DegenerateTrajectory,
+    NodeTrajectory,
+    SpiralTrajectory,
+    linear_trajectory,
+)
+
+__all__ = [
+    "spiral_t_star",
+    "spiral_extremum_paper",
+    "spiral_amplitude",
+    "extremum_x",
+    "extremum_time",
+    "node_extremum_paper",
+    "degenerate_extremum_paper",
+]
+
+
+def spiral_t_star(eig: Eigenstructure, x0: float, y0: float) -> float:
+    """Paper eq. (18): time of the extremum closest to ``(x0, y0)``.
+
+    ``t* = (1/beta) [ atan(alpha/beta) + atan((y0 - alpha x0)/(beta x0)) ]``
+    with an extra ``pi/beta`` when ``x0 * y0 < 0`` so that ``t* >= 0``.
+
+    Raises
+    ------
+    ValueError
+        If the eigenstructure is not a focus or ``x0 == 0`` (the printed
+        formula divides by ``x0``; use :func:`extremum_time` instead).
+    """
+    if eig.kind is not FixedPointType.FOCUS:
+        raise ValueError("spiral_t_star applies to the focus case only")
+    if x0 == 0.0:
+        raise ValueError("paper formula (18) requires x(0) != 0")
+    alpha, beta = eig.alpha, eig.beta
+    base = math.atan(alpha / beta) + math.atan((y0 - alpha * x0) / (beta * x0))
+    if x0 * y0 >= 0.0:
+        t_star = base / beta
+    else:
+        t_star = (math.pi + math.atan(alpha / beta)
+                  + math.atan((y0 - alpha * x0) / (beta * x0))) / beta
+    # The principal-value arctangents can undershoot by one half-period
+    # for some quadrants; normalise into [0, pi/beta).
+    period = math.pi / beta
+    while t_star < 0.0:
+        t_star += period
+    while t_star >= period and x0 * y0 >= 0.0:
+        t_star -= period
+    return t_star
+
+
+def spiral_amplitude(eig: Eigenstructure, x0: float, y0: float) -> float:
+    """The paper's spiral amplitude ``A`` (below eq. 12)."""
+    if eig.kind is not FixedPointType.FOCUS:
+        raise ValueError("spiral amplitude applies to the focus case only")
+    alpha, beta = eig.alpha, eig.beta
+    return (
+        math.sqrt(
+            (alpha * alpha + beta * beta) * x0 * x0
+            - 2.0 * alpha * x0 * y0
+            + y0 * y0
+        )
+        / beta
+    )
+
+
+def spiral_extremum_paper(eig: Eigenstructure, x0: float, y0: float) -> float:
+    """Paper eqs. (19)-(20): extremum of ``x`` nearest ``(x0, y0)``.
+
+    ``max_x^s = + A beta / sqrt(alpha^2 + beta^2) * exp(alpha t*)`` when
+    ``y0 > 0`` (a maximum), the negative of that when ``y0 < 0`` (a
+    minimum).  Uses the printed ``t*`` of eq. (18).
+    """
+    if y0 == 0.0:
+        raise ValueError("extremum side is undefined for y(0) == 0")
+    alpha, beta = eig.alpha, eig.beta
+    amp = spiral_amplitude(eig, x0, y0)
+    t_star = spiral_t_star(eig, x0, y0)
+    magnitude = amp * beta / math.hypot(alpha, beta) * math.exp(alpha * t_star)
+    return magnitude if y0 > 0 else -magnitude
+
+
+def node_extremum_paper(eig: Eigenstructure, x0: float, y0: float) -> float | None:
+    """Paper eq. (28): global extremum of ``x`` in the node case."""
+    traj = NodeTrajectory(x0, y0, eig)
+    return traj.extremum_x_paper_formula()
+
+
+def degenerate_extremum_paper(eig: Eigenstructure, x0: float, y0: float) -> float | None:
+    """Paper eq. (34): unique extremum of ``x`` in the degenerate case."""
+    traj = DegenerateTrajectory(x0, y0, eig)
+    return traj.extremum_x_paper_formula()
+
+
+def extremum_time(eig: Eigenstructure, x0: float, y0: float) -> float | None:
+    """Robust first time ``t > 0`` with ``y(t) = 0``, any eigenstructure."""
+    return linear_trajectory(eig, x0, y0).first_y_zero_time()
+
+
+def extremum_x(eig: Eigenstructure, x0: float, y0: float) -> float | None:
+    """Robust extremum of ``x`` nearest the initial point.
+
+    Evaluates the exact solution at the first ``y = 0`` time; agrees with
+    the paper's eqs. (19)/(20), (28) and (34) on their domains and extends
+    them to all initial conditions.
+    """
+    return linear_trajectory(eig, x0, y0).extremum_x()

@@ -1,0 +1,531 @@
+"""Piecewise phase-plane composition of BCN trajectories (Section IV.C).
+
+The BCN system is a *variable-structure* system: the phase plane is split
+by the switching line ``x + k y = 0`` into a rate-increase and a
+rate-decrease region, each with its own (linearised) dynamics.  A full
+trajectory is a chain of closed-form segments, glued at switching-line
+crossings.  This module provides:
+
+* :func:`classify_case` — the paper's six basic trajectory types
+  (Cases 1-5 of Section IV.C), decided by whether each region is a focus
+  (spiral) or a node (parabola-like);
+* :class:`PhasePlaneAnalyzer` — composes piecewise trajectories from any
+  initial state, including the canonical start ``(-q0, 0)`` reached at
+  the end of the warm-up stage, and reports switching points, per-round
+  extrema, global queue excursions and strong-stability-relevant events;
+* :class:`PiecewiseTrajectory` — the composed result, sampleable for
+  plotting and inspection.
+
+All coordinates are normalised: ``x = q - q0`` (queue offset, bits) and
+``y = N r - C`` (aggregate rate offset, bits/s).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .eigen import Region, eigenstructure, region_eigenstructure
+from .parameters import BCNParams, NormalizedParams
+from .switching import SwitchingLine
+from .trajectories import LinearTrajectory, linear_trajectory
+
+__all__ = [
+    "PaperCase",
+    "classify_case",
+    "Segment",
+    "WarmupSegment",
+    "PiecewiseTrajectory",
+    "PhasePlaneAnalyzer",
+]
+
+#: Relative radius (w.r.t. ``q0`` and ``C``) below which the composed
+#: trajectory is considered converged to the equilibrium point.
+DEFAULT_CONVERGENCE_RTOL = 1e-6
+
+
+class PaperCase(enum.Enum):
+    """The paper's case taxonomy of Section IV.C.
+
+    With thresholds ``A* = 4 pm^2 C^2 / w^2`` (equivalently ``4/k^2``)
+    and ``B* = 4 pm^2 C / w^2`` (``4/(k^2 C)``):
+
+    ==========  =====================  =====================
+    case        increase region        decrease region
+    ==========  =====================  =====================
+    CASE1       focus (``a < A*``)     focus (``b < B*``)
+    CASE2       node  (``a > A*``)     focus (``b < B*``)
+    CASE3       focus (``a < A*``)     node  (``b > B*``)
+    CASE4       node  (``a > A*``)     node  (``b > B*``)
+    CASE5       ``a = A*`` or ``b = B*`` (degenerate boundary)
+    ==========  =====================  =====================
+    """
+
+    CASE1 = "case1"
+    CASE2 = "case2"
+    CASE3 = "case3"
+    CASE4 = "case4"
+    CASE5 = "case5"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def classify_case(params: NormalizedParams) -> PaperCase:
+    """Classify the parameters into the paper's Cases 1-5."""
+    thr = params.focus_threshold
+    if params.n_increase == thr or params.n_decrease == thr:
+        return PaperCase.CASE5
+    inc_focus = params.increase_is_focus
+    dec_focus = params.decrease_is_focus
+    if inc_focus and dec_focus:
+        return PaperCase.CASE1
+    if not inc_focus and dec_focus:
+        return PaperCase.CASE2
+    if inc_focus and not dec_focus:
+        return PaperCase.CASE3
+    return PaperCase.CASE4
+
+
+@dataclass(frozen=True)
+class WarmupSegment:
+    """The start-up stage of Section IV.C.
+
+    While the queue is empty the switch cannot observe queue variation
+    and feeds back ``sigma = q0``; the aggregate rate offset grows
+    linearly, ``y(t) = y_start + a q0 t``, with ``x`` pinned at ``-q0``,
+    until ``y`` reaches zero after ``T0 = -y_start / (a q0)`` seconds.
+    """
+
+    t_start: float
+    y_start: float
+    a: float
+    q0: float
+
+    @property
+    def duration(self) -> float:
+        return -self.y_start / (self.a * self.q0)
+
+    @property
+    def t_end(self) -> float:
+        return self.t_start + self.duration
+
+    def state(self, t_local: float) -> tuple[float, float]:
+        return (-self.q0, self.y_start + self.a * self.q0 * t_local)
+
+    def sample(self, n: int) -> np.ndarray:
+        ts = np.linspace(0.0, self.duration, n)
+        ys = self.y_start + self.a * self.q0 * ts
+        return np.column_stack([self.t_start + ts, np.full(n, -self.q0), ys])
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One closed-form piece of a composed trajectory.
+
+    Attributes
+    ----------
+    region:
+        Which rate-regulation law governs this piece.
+    trajectory:
+        Closed-form solution in normalised coordinates, with local time
+        starting at 0 at the segment's first state.
+    t_start:
+        Global time at which the segment begins.
+    duration:
+        Segment length in seconds; ``math.inf`` for a final segment that
+        approaches the equilibrium without further switching.
+    end_reason:
+        Why the segment ended: ``"switch"``, ``"converged"`` or
+        ``"time_limit"``.
+    extremum_t, extremum_x:
+        Local extremum of ``x`` inside the segment (global time / value),
+        or None if ``y`` does not vanish inside the segment.
+    """
+
+    region: Region
+    trajectory: LinearTrajectory
+    t_start: float
+    duration: float
+    end_reason: str
+    extremum_t: float | None = None
+    extremum_x: float | None = None
+
+    @property
+    def t_end(self) -> float:
+        return self.t_start + self.duration
+
+    @property
+    def start_state(self) -> tuple[float, float]:
+        return (self.trajectory.x0, self.trajectory.y0)
+
+    def end_state(self) -> tuple[float, float]:
+        if math.isinf(self.duration):
+            return (0.0, 0.0)
+        return self.trajectory.state(self.duration)
+
+    def state(self, t_local: float) -> tuple[float, float]:
+        return self.trajectory.state(t_local)
+
+    def sample(self, n: int, *, horizon: float | None = None) -> np.ndarray:
+        """Sample ``n`` points as rows ``(t_global, x, y)``."""
+        end = self.duration
+        if math.isinf(end):
+            end = horizon if horizon is not None else 1.0
+        ts = np.linspace(0.0, end, n)
+        states = self.trajectory.states(ts)
+        return np.column_stack([self.t_start + ts, states])
+
+
+@dataclass
+class PiecewiseTrajectory:
+    """A composed trajectory: optional warm-up + closed-form segments."""
+
+    params: NormalizedParams
+    segments: list[Segment]
+    warmup: WarmupSegment | None = None
+    converged: bool = False
+    end_reason: str = "unknown"
+    switch_states: list[tuple[float, float, float]] = field(default_factory=list)
+    #: rows (t, x): every local extremum of x along the trajectory
+    extrema: list[tuple[float, float]] = field(default_factory=list)
+
+    # -- scalar summaries ---------------------------------------------------
+
+    @property
+    def n_switches(self) -> int:
+        return len(self.switch_states)
+
+    @property
+    def total_duration(self) -> float:
+        if not self.segments:
+            return 0.0 if self.warmup is None else self.warmup.duration
+        return self.segments[-1].t_end
+
+    def max_x(self) -> float:
+        """Exact supremum of ``x(t)`` over the composed trajectory.
+
+        ``x`` is monotone between extrema (``y`` keeps one sign), so the
+        supremum is attained either at a segment start or at a local
+        extremum; both are enumerated exactly.
+        """
+        candidates = [seg.start_state[0] for seg in self.segments]
+        candidates += [x for _, x in self.extrema]
+        if self.warmup is not None:
+            candidates.append(-self.params.q0)
+        return max(candidates) if candidates else 0.0
+
+    def min_x(self) -> float:
+        """Exact infimum of ``x(t)`` over the composed trajectory."""
+        candidates = [seg.start_state[0] for seg in self.segments]
+        candidates += [x for _, x in self.extrema]
+        if self.warmup is not None:
+            candidates.append(-self.params.q0)
+        return min(candidates) if candidates else 0.0
+
+    def min_x_after_start(self) -> float:
+        """Infimum of ``x(t)`` excluding the initial state itself.
+
+        The canonical start is the empty queue (``x = -q0``); Definition 1
+        allows the transient, so strong-stability verdicts use the
+        infimum over local extrema and later segment starts only.
+        """
+        candidates = [x for _, x in self.extrema]
+        candidates += [seg.start_state[0] for seg in self.segments[1:]]
+        return min(candidates) if candidates else 0.0
+
+    def queue_peak(self) -> float:
+        """Maximum queue length ``max q(t) = q0 + max x(t)``."""
+        return self.params.q0 + self.max_x()
+
+    def queue_trough(self) -> float:
+        """Minimum queue length ``min q(t) = q0 + min x(t)``."""
+        return self.params.q0 + self.min_x()
+
+    def queue_trough_after_start(self) -> float:
+        """Minimum queue after the initial transient left the start state."""
+        return self.params.q0 + self.min_x_after_start()
+
+    def amplitude_trend(self) -> float | None:
+        """Geometric ratio of successive same-side switching ordinates.
+
+        Returns ``|y_{i+2}| / |y_i|`` averaged over the recorded
+        crossings (None with fewer than four crossings).  Below 1 the
+        oscillation contracts towards the equilibrium, above 1 it grows,
+        and a ratio of exactly 1 is a limit cycle.
+        """
+        ys = [abs(y) for _, _, y in self.switch_states]
+        if len(ys) < 4:
+            return None
+        ratios = [ys[i + 2] / ys[i] for i in range(len(ys) - 2) if ys[i] > 0]
+        if not ratios:
+            return None
+        return float(np.exp(np.mean(np.log(ratios))))
+
+    def overflows(self) -> bool:
+        """True if the queue would exceed the buffer (``x >= B - q0``)."""
+        return self.max_x() >= self.params.buffer_size - self.params.q0
+
+    def underflows_after_start(self) -> bool:
+        """True if the queue re-empties (``x <= -q0``) after leaving it.
+
+        The canonical start *is* an empty queue, so only excursions after
+        the first segment has left ``x = -q0`` count (Definition 1 allows
+        a transient).
+        """
+        threshold = -self.params.q0
+        # Local extrema and later segment starts witness any re-emptying.
+        for t, x in self.extrema:
+            if x <= threshold:
+                return True
+        for seg in self.segments[1:]:
+            if seg.start_state[0] <= threshold:
+                return True
+        return False
+
+    # -- sampling -----------------------------------------------------------
+
+    def sample(
+        self,
+        points_per_segment: int = 200,
+        *,
+        final_horizon: float | None = None,
+    ) -> np.ndarray:
+        """Sample the trajectory as rows ``(t, x, y)``.
+
+        Parameters
+        ----------
+        points_per_segment:
+            Sample count per closed-form segment (and for the warm-up).
+        final_horizon:
+            Local duration over which to sample a final infinite
+            segment; defaults to three slowest time constants.
+        """
+        rows: list[np.ndarray] = []
+        if self.warmup is not None and self.warmup.duration > 0:
+            rows.append(self.warmup.sample(points_per_segment))
+        for seg in self.segments:
+            horizon = final_horizon
+            if horizon is None and math.isinf(seg.duration):
+                horizon = 3.0 * self._slowest_time_constant(seg)
+            rows.append(seg.sample(points_per_segment, horizon=horizon))
+        if not rows:
+            return np.empty((0, 3))
+        return np.vstack(rows)
+
+    def _slowest_time_constant(self, seg: Segment) -> float:
+        eig = seg.trajectory.eig
+        if eig.is_focus:
+            return 1.0 / abs(eig.alpha)
+        lam_slow = max(lam.real for lam in (eig.lambda1, eig.lambda2))
+        return 1.0 / abs(lam_slow)
+
+    def queue_time_series(
+        self, points_per_segment: int = 200
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(t, q(t), aggregate_rate(t))`` in physical units."""
+        samples = self.sample(points_per_segment)
+        t = samples[:, 0]
+        q = samples[:, 1] + self.params.q0
+        rate = samples[:, 2] + self.params.capacity
+        return t, q, rate
+
+
+class PhasePlaneAnalyzer:
+    """Composes and classifies BCN phase trajectories.
+
+    Parameters
+    ----------
+    params:
+        Normalised parameters; build them from physical ones with
+        :meth:`repro.core.parameters.BCNParams.normalized`.
+
+    Examples
+    --------
+    >>> from repro.core.parameters import paper_example_params
+    >>> analyzer = PhasePlaneAnalyzer(paper_example_params().normalized())
+    >>> traj = analyzer.compose()
+    >>> traj.converged
+    True
+    """
+
+    def __init__(self, params: NormalizedParams | BCNParams) -> None:
+        if isinstance(params, BCNParams):
+            params = params.normalized()
+        self.params = params
+        self.line = SwitchingLine(params.k)
+        self._eigs = {
+            Region.INCREASE: region_eigenstructure(params, Region.INCREASE),
+            Region.DECREASE: region_eigenstructure(params, Region.DECREASE),
+        }
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def case(self) -> PaperCase:
+        """The paper's case (1-5) for these parameters."""
+        return classify_case(self.params)
+
+    def region_eig(self, region: Region):
+        """Eigenstructure of the linearised dynamics in ``region``."""
+        return self._eigs[region]
+
+    def region_of(self, x: float, y: float) -> Region:
+        """Region containing ``(x, y)``, resolving on-line points by flow."""
+        return self.line.region_or_heading(x, y)
+
+    # -- composition ---------------------------------------------------------
+
+    def compose(
+        self,
+        x0: float | None = None,
+        y0: float = 0.0,
+        *,
+        max_switches: int = 200,
+        t_max: float = math.inf,
+        convergence_rtol: float = DEFAULT_CONVERGENCE_RTOL,
+        include_warmup: bool = False,
+        initial_rate_offset: float | None = None,
+    ) -> PiecewiseTrajectory:
+        """Compose the piecewise-linear trajectory from an initial state.
+
+        Parameters
+        ----------
+        x0, y0:
+            Normalised initial state; defaults to the canonical
+            post-warm-up point ``(-q0, 0)``.
+        max_switches:
+            Hard cap on switching-line crossings (limit cycles would
+            otherwise never terminate).
+        t_max:
+            Global time horizon.
+        convergence_rtol:
+            Relative radius (``max(|x|/q0, |y|/C)``) below which the
+            trajectory is considered converged.
+        include_warmup:
+            Prepend the linear warm-up stage from
+            ``(-q0, initial_rate_offset)``; requires ``x0`` unset.
+        initial_rate_offset:
+            Normalised ``y`` at the very start of warm-up
+            (``N*mu - C < 0``); defaults to ``-C`` (sources start silent).
+        """
+        p = self.params
+        warmup: WarmupSegment | None = None
+        if include_warmup:
+            if x0 is not None:
+                raise ValueError("include_warmup fixes the start at (-q0, .)")
+            y_start = -p.capacity if initial_rate_offset is None else initial_rate_offset
+            if y_start >= 0:
+                raise ValueError("warm-up requires an initial aggregate rate below C")
+            warmup = WarmupSegment(t_start=0.0, y_start=y_start, a=p.a, q0=p.q0)
+            t = warmup.duration
+            x, y = -p.q0, 0.0
+        else:
+            x = -p.q0 if x0 is None else x0
+            y = y0
+            t = 0.0
+
+        segments: list[Segment] = []
+        switch_states: list[tuple[float, float, float]] = []
+        extrema: list[tuple[float, float]] = []
+        converged = False
+        end_reason = "max_switches"
+        # After a crossing the state sits on the line to FP error, so the
+        # sign test is unreliable there; the flow direction (exact, since
+        # d(x+ky)/dt = y on the line) decides the region instead.
+        region: Region | None = None
+
+        for _ in range(max_switches + 1):
+            if self._is_converged(x, y, convergence_rtol):
+                converged = True
+                end_reason = "converged"
+                break
+            if region is None:
+                region = self.region_of(x, y)
+            traj = linear_trajectory(self._eigs[region], x, y)
+            t_cross = traj.first_line_crossing_time(p.k)
+            remaining = t_max - t
+
+            if t_cross is None or t_cross >= remaining:
+                # Final segment: no further switching within the horizon.
+                duration = remaining if math.isfinite(remaining) else math.inf
+                reason = "time_limit" if t_cross is not None and math.isfinite(remaining) else "converged"
+                ext_t, ext_x = self._segment_extremum(traj, duration)
+                if ext_t is not None:
+                    extrema.append((t + ext_t, ext_x))
+                segments.append(
+                    Segment(region, traj, t, duration, reason,
+                            extremum_t=None if ext_t is None else t + ext_t,
+                            extremum_x=ext_x)
+                )
+                converged = reason == "converged"
+                end_reason = reason
+                break
+
+            ext_t, ext_x = self._segment_extremum(traj, t_cross)
+            if ext_t is not None:
+                extrema.append((t + ext_t, ext_x))
+            segments.append(
+                Segment(region, traj, t, t_cross, "switch",
+                        extremum_t=None if ext_t is None else t + ext_t,
+                        extremum_x=ext_x)
+            )
+            x, y = traj.state(t_cross)
+            t += t_cross
+            switch_states.append((t, x, y))
+            region = self.line.crossing_direction(y) if y != 0.0 else None
+
+        return PiecewiseTrajectory(
+            params=p,
+            segments=segments,
+            warmup=warmup,
+            converged=converged,
+            end_reason=end_reason,
+            switch_states=switch_states,
+            extrema=extrema,
+        )
+
+    def _is_converged(self, x: float, y: float, rtol: float) -> bool:
+        return abs(x) / self.params.q0 <= rtol and abs(y) / self.params.capacity <= rtol
+
+    @staticmethod
+    def _segment_extremum(
+        traj: LinearTrajectory, duration: float
+    ) -> tuple[float | None, float | None]:
+        t_ext = traj.first_y_zero_time()
+        if t_ext is None or t_ext >= duration:
+            return None, None
+        return t_ext, traj.state(t_ext)[0]
+
+    # -- derived diagnostics --------------------------------------------------
+
+    def first_round_peak(self) -> float:
+        """Queue offset peak of the first decrease round, from ``(-q0, 0)``.
+
+        This is the quantity the paper bounds as ``max1{x}`` (Case 1,
+        eq. 36) and ``max2{x}`` (Case 2, eq. 38); computed here from the
+        composed trajectory so it is exact in every case.
+        """
+        traj = self.compose(max_switches=4)
+        xs = [x for _, x in traj.extrema if x > 0]
+        return max(xs) if xs else 0.0
+
+    def first_round_trough(self) -> float:
+        """Queue offset minimum of the first re-increase round (``min1{x}``)."""
+        traj = self.compose(max_switches=6)
+        # Skip the starting point itself (x = -q0); collect negative extrema.
+        xs = [x for _, x in traj.extrema if x < 0]
+        return min(xs) if xs else 0.0
+
+    def switching_ordinates(self, n_rounds: int = 10) -> list[float]:
+        """Ordinates ``y`` of successive switching-line crossings.
+
+        For Case 1 these alternate in sign; the ratio of same-sign
+        successive ordinates is the return-map contraction (exactly 1 on
+        a limit cycle).
+        """
+        traj = self.compose(max_switches=2 * n_rounds)
+        return [y for _, _, y in traj.switch_states]

@@ -1,0 +1,105 @@
+"""Switching-line geometry of the variable-structure BCN system.
+
+The feedback measure ``sigma = -(x + k y)`` changes sign across the
+**switching line** ``x + k y = 0`` (slope ``-1/k`` in the phase plane).
+``sigma > 0`` selects the additive-increase law and ``sigma < 0`` the
+multiplicative-decrease law (eq. 8).  This module provides the small
+geometric vocabulary the composer and the classifiers share: region
+membership, signed distance, crossing direction, and the projection of
+states onto the line.
+
+A structural property worth recording (used by the stability proof):
+*crossings are always transversal*.  On the line, both vector fields give
+``d(x + k y)/dt = y`` — the rate terms vanish because they are
+proportional to ``x + k y`` itself — so there is no sliding mode, and a
+trajectory can only touch the line without crossing at ``y = 0``, i.e. at
+the origin.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .eigen import Region
+
+__all__ = ["SwitchingLine"]
+
+
+@dataclass(frozen=True)
+class SwitchingLine:
+    """The line ``x + k y = 0`` with the induced region partition."""
+
+    k: float
+
+    def __post_init__(self) -> None:
+        if not (self.k > 0 and math.isfinite(self.k)):
+            raise ValueError(f"k must be positive and finite, got {self.k}")
+
+    def sigma(self, x: float, y: float) -> float:
+        """Feedback measure ``sigma = -(x + k y)``."""
+        return -(x + self.k * y)
+
+    def value(self, x: float, y: float) -> float:
+        """The switching function ``s = x + k y`` (``-sigma``)."""
+        return x + self.k * y
+
+    def region(self, x: float, y: float, *, tol: float = 0.0) -> Region | None:
+        """Region containing ``(x, y)``; None when within ``tol`` of the line."""
+        s = self.value(x, y)
+        if abs(s) <= tol:
+            return None
+        return Region.INCREASE if s < 0.0 else Region.DECREASE
+
+    def region_or_heading(self, x: float, y: float, *, tol: float | None = None) -> Region:
+        """Region of ``(x, y)``, resolving near-line points by flow direction.
+
+        On the line ``d(x + k y)/dt = y`` for both fields, so a point with
+        ``y < 0`` is about to enter the increase region and ``y > 0`` the
+        decrease region.  ``y = 0`` on the line is the origin; we return
+        the increase region by convention (the equilibrium belongs to the
+        closure of both).
+
+        ``tol`` defaults to a relative tolerance,
+        ``1e-9 * (|x| + k |y|)``, so that states produced by a crossing
+        solver (on the line up to FP error) are resolved by heading
+        rather than by the noise sign of the residual.
+        """
+        if tol is None:
+            tol = 1e-9 * (abs(x) + self.k * abs(y))
+        region = self.region(x, y, tol=tol)
+        if region is not None:
+            return region
+        return Region.DECREASE if y > 0.0 else Region.INCREASE
+
+    def distance(self, x: float, y: float) -> float:
+        """Euclidean distance from ``(x, y)`` to the line."""
+        return abs(self.value(x, y)) / math.hypot(1.0, self.k)
+
+    def slope(self) -> float:
+        """Slope ``dy/dx = -1/k`` of the line in the phase plane."""
+        return -1.0 / self.k
+
+    def point_at_y(self, y: float) -> tuple[float, float]:
+        """The point on the line with ordinate ``y`` (i.e. ``(-k y, y)``)."""
+        return (-self.k * y, y)
+
+    def point_at_x(self, x: float) -> tuple[float, float]:
+        """The point on the line with abscissa ``x`` (i.e. ``(x, -x/k)``)."""
+        return (x, -x / self.k)
+
+    def project(self, x: float, y: float) -> tuple[float, float]:
+        """Orthogonal projection of ``(x, y)`` onto the line."""
+        s = self.value(x, y) / (1.0 + self.k * self.k)
+        return (x - s, y - self.k * s)
+
+    def crossing_direction(self, y: float) -> Region:
+        """Region entered when crossing the line at ordinate ``y``.
+
+        Follows from ``d(x + k y)/dt = y`` on the line: with ``y > 0``
+        the switching function grows, so the flow enters the decrease
+        region; with ``y < 0`` it enters the increase region.
+        """
+        if y == 0.0:
+            raise ValueError("crossing direction undefined at the origin")
+        return Region.DECREASE if y > 0.0 else Region.INCREASE

@@ -1,0 +1,439 @@
+"""Closed-form phase trajectories of the linearised BCN subsystems.
+
+Section IV.B of the paper solves the linearised dynamics
+
+.. math::
+
+    \\dot x = y, \\qquad \\dot y = -n x - k n y
+
+in the three eigenvalue cases and derives, for each, the trajectory shape
+and the extremum of ``x(t)`` (the queue excursion):
+
+* **Case 1, focus** (``m^2 - 4n < 0``) — logarithmic spirals
+  :math:`\\mathscr{H}` (eqs. 12–17), extrema via ``t*`` (eqs. 18–20).
+* **Case 2, node** (``m^2 - 4n > 0``) — parabola-like curves
+  :math:`\\mathscr{F}` (eqs. 21–28) with the invariant lines
+  ``y = lambda_1 x`` and ``y = lambda_2 x``.
+* **Case 3, degenerate node** (``m^2 - 4n = 0``) — curves
+  :math:`\\mathscr{L}` (eqs. 29–34) with the single invariant line
+  ``y = lambda x``.
+
+Every trajectory class evaluates the exact solution at arbitrary times,
+computes the first time ``y(t) = 0`` (where ``x`` attains an extremum,
+since ``y = dx/dt``) and the first crossing of an arbitrary switching line
+``x + k_s y = 0`` — all in closed form (the spiral case reduces to
+inverting a phase, the node cases to a single logarithm).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from .eigen import Eigenstructure, FixedPointType, eigenstructure
+
+__all__ = [
+    "LinearTrajectory",
+    "SpiralTrajectory",
+    "NodeTrajectory",
+    "DegenerateTrajectory",
+    "linear_trajectory",
+]
+
+_TIME_EPS = 1e-12
+
+
+@runtime_checkable
+class LinearTrajectory(Protocol):
+    """Protocol shared by the three closed-form trajectory families."""
+
+    x0: float
+    y0: float
+    eig: Eigenstructure
+
+    def state(self, t: float) -> tuple[float, float]:
+        """Exact state ``(x(t), y(t))`` at time ``t >= 0``."""
+        ...
+
+    def states(self, times: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation; returns an ``(len(times), 2)`` array."""
+        ...
+
+    def first_y_zero_time(self) -> float | None:
+        """Smallest ``t > 0`` with ``y(t) = 0``, or None if none exists."""
+        ...
+
+    def first_line_crossing_time(self, line_k: float) -> float | None:
+        """Smallest ``t > 0`` with ``x(t) + line_k * y(t) = 0``."""
+        ...
+
+    def extremum_x(self) -> float | None:
+        """Value of ``x`` at the first ``y = 0`` crossing (local extremum)."""
+        ...
+
+
+def _first_positive_harmonic_root(
+    p: float, q: float, beta: float, *, t_min: float = _TIME_EPS
+) -> float | None:
+    """First root ``t > t_min`` of ``P cos(beta t) + Q sin(beta t) = 0``.
+
+    Writing ``P cos + Q sin = R cos(beta t - delta)`` with
+    ``delta = atan2(Q, P)``, the roots are
+    ``t_m = (delta + pi/2 + m*pi) / beta`` for integer ``m``.
+    """
+    if p == 0.0 and q == 0.0:
+        return None  # identically zero — the caller sits on the locus
+    delta = math.atan2(q, p)
+    base = (delta + math.pi / 2.0) / beta
+    # smallest integer m with base + m*pi/beta > t_min
+    m = math.ceil((t_min - base) * beta / math.pi)
+    t = base + m * math.pi / beta
+    if t <= t_min:  # guard against FP round-off in ceil
+        t += math.pi / beta
+    return t
+
+
+@dataclass(frozen=True)
+class SpiralTrajectory:
+    """Logarithmic-spiral solution of a stable-focus subsystem (eq. 12).
+
+    The solution through ``(x0, y0)`` is::
+
+        x(t) = exp(alpha t) * (x0 cos(beta t) + c sin(beta t))
+        y(t) = exp(alpha t) * (y0 cos(beta t) + d sin(beta t))
+
+    with ``c = (y0 - alpha x0)/beta`` and
+    ``d = (alpha y0 - n x0)/beta`` (note ``alpha^2 + beta^2 = n``).
+
+    Equivalent to the paper's amplitude/phase form
+    ``x(t) = A exp(alpha t) cos(beta t + phi)`` — exposed through
+    :attr:`amplitude` and :attr:`phase` — but evaluated in the
+    numerically robust cos/sin basis.
+    """
+
+    x0: float
+    y0: float
+    eig: Eigenstructure
+
+    def __post_init__(self) -> None:
+        if self.eig.kind is not FixedPointType.FOCUS:
+            raise ValueError("SpiralTrajectory requires a focus eigenstructure")
+
+    # -- coefficients ---------------------------------------------------
+
+    @property
+    def _c(self) -> float:
+        return (self.y0 - self.eig.alpha * self.x0) / self.eig.beta
+
+    @property
+    def _d(self) -> float:
+        return (self.eig.alpha * self.y0 - self.eig.n * self.x0) / self.eig.beta
+
+    @property
+    def amplitude(self) -> float:
+        """The paper's spiral amplitude ``A`` (below eq. 12)."""
+        return math.hypot(self.x0, self._c)
+
+    @property
+    def phase(self) -> float:
+        """The paper's spiral phase ``phi``, via quadrant-safe atan2."""
+        return math.atan2(-self._c, self.x0)
+
+    # -- evaluation -------------------------------------------------------
+
+    def state(self, t: float) -> tuple[float, float]:
+        a, b = self.eig.alpha, self.eig.beta
+        e = math.exp(a * t)
+        cb, sb = math.cos(b * t), math.sin(b * t)
+        return (
+            e * (self.x0 * cb + self._c * sb),
+            e * (self.y0 * cb + self._d * sb),
+        )
+
+    def states(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        a, b = self.eig.alpha, self.eig.beta
+        e = np.exp(a * times)
+        cb, sb = np.cos(b * times), np.sin(b * times)
+        x = e * (self.x0 * cb + self._c * sb)
+        y = e * (self.y0 * cb + self._d * sb)
+        return np.column_stack([x, y])
+
+    def polar(self, t: float) -> tuple[float, float]:
+        """Polar form ``(r, theta)`` of eq. (17).
+
+        Uses the paper's transform ``r cos(theta) = beta x`` and
+        ``r sin(theta) = alpha x - y``, under which the trajectory is
+        ``r = sqrt(c1) * exp(alpha/beta * theta)``.
+        """
+        x, y = self.state(t)
+        u = self.eig.beta * x
+        v = self.eig.alpha * x - y
+        return math.hypot(u, v), math.atan2(v, u)
+
+    # -- events -----------------------------------------------------------
+
+    def first_y_zero_time(self) -> float | None:
+        return _first_positive_harmonic_root(self.y0, self._d, self.eig.beta)
+
+    def first_line_crossing_time(self, line_k: float) -> float | None:
+        p = self.x0 + line_k * self.y0
+        q = self._c + line_k * self._d
+        return _first_positive_harmonic_root(p, q, self.eig.beta)
+
+    def extremum_x(self) -> float | None:
+        t_star = self.first_y_zero_time()
+        if t_star is None:
+            return None
+        return self.state(t_star)[0]
+
+    def revolution_period(self) -> float:
+        """Time ``2*pi/beta`` of one full turn around the focus."""
+        return 2.0 * math.pi / self.eig.beta
+
+    def half_turn_contraction(self) -> float:
+        """Amplitude contraction ``exp(alpha * pi / beta)`` per half turn.
+
+        Any ray from the origin is hit once per half turn; successive hits
+        scale by this factor, which governs the spiral's decay rate and is
+        the building block of the limit-cycle return map.
+        """
+        return math.exp(self.eig.alpha * math.pi / self.eig.beta)
+
+
+@dataclass(frozen=True)
+class NodeTrajectory:
+    """Parabola-like solution of a stable-node subsystem (eq. 21).
+
+    With distinct real eigenvalues ``lambda1 < lambda2 < 0``::
+
+        x(t) = A1 exp(lambda1 t) + A2 exp(lambda2 t)
+        y(t) = A1 lambda1 exp(lambda1 t) + A2 lambda2 exp(lambda2 t)
+
+    where ``A1 = (lambda2 x0 - y0)/(lambda2 - lambda1)`` and
+    ``A2 = (y0 - lambda1 x0)/(lambda2 - lambda1)``.  The invariant lines
+    ``y = lambda1 x`` (``A2 = 0``) and ``y = lambda2 x`` (``A1 = 0``) are
+    themselves trajectories; the latter is the slow asymptote every other
+    trajectory approaches (Fig. 5).
+    """
+
+    x0: float
+    y0: float
+    eig: Eigenstructure
+
+    def __post_init__(self) -> None:
+        if self.eig.kind is not FixedPointType.NODE:
+            raise ValueError("NodeTrajectory requires a node eigenstructure")
+
+    @property
+    def lambdas(self) -> tuple[float, float]:
+        return self.eig.real_eigenvalues
+
+    @property
+    def a1(self) -> float:
+        l1, l2 = self.lambdas
+        return (l2 * self.x0 - self.y0) / (l2 - l1)
+
+    @property
+    def a2(self) -> float:
+        l1, l2 = self.lambdas
+        return (self.y0 - l1 * self.x0) / (l2 - l1)
+
+    def state(self, t: float) -> tuple[float, float]:
+        l1, l2 = self.lambdas
+        e1, e2 = math.exp(l1 * t), math.exp(l2 * t)
+        return (
+            self.a1 * e1 + self.a2 * e2,
+            self.a1 * l1 * e1 + self.a2 * l2 * e2,
+        )
+
+    def states(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        l1, l2 = self.lambdas
+        e1, e2 = np.exp(l1 * times), np.exp(l2 * times)
+        x = self.a1 * e1 + self.a2 * e2
+        y = self.a1 * l1 * e1 + self.a2 * l2 * e2
+        return np.column_stack([x, y])
+
+    def _exponential_root(self, c1: float, c2: float) -> float | None:
+        """First ``t > 0`` with ``c1 exp(lambda1 t) + c2 exp(lambda2 t) = 0``.
+
+        Reduces to ``exp((lambda1 - lambda2) t) = -c2/c1``, which has a
+        (unique) positive solution iff ``-c2/c1`` lies in ``(0, 1)``
+        because ``lambda1 - lambda2 < 0``.
+        """
+        if c1 == 0.0:
+            return None  # pure lambda2 mode never crosses
+        ratio = -c2 / c1
+        if ratio <= 0.0:
+            return None
+        l1, l2 = self.lambdas
+        t = math.log(ratio) / (l1 - l2)
+        return t if t > _TIME_EPS else None
+
+    def first_y_zero_time(self) -> float | None:
+        l1, l2 = self.lambdas
+        return self._exponential_root(self.a1 * l1, self.a2 * l2)
+
+    def first_line_crossing_time(self, line_k: float) -> float | None:
+        l1, l2 = self.lambdas
+        return self._exponential_root(
+            self.a1 * (1.0 + line_k * l1), self.a2 * (1.0 + line_k * l2)
+        )
+
+    def extremum_x(self) -> float | None:
+        """Global extremum of ``x(t)`` — the paper's ``mum_x^p`` (eq. 28)."""
+        t_star = self.first_y_zero_time()
+        if t_star is None:
+            return None
+        return self.state(t_star)[0]
+
+    def extremum_x_paper_formula(self) -> float | None:
+        """Evaluate the paper's closed form (eq. 28) directly.
+
+        ``mum_x^p = -+ { (-l1)^{l1} (y0 - l2 x0)^{l2} /
+        ((-l2)^{l2} (y0 - l1 x0)^{l1}) }^{1/(l2 - l1)}``, sign chosen by
+        ``y0`` (maximum for ``y0 > 0``, minimum for ``y0 < 0``).  Only
+        defined when the fractional powers have positive bases after the
+        sign of ``y0`` is factored out; returns None otherwise (the
+        time-based :meth:`extremum_x` covers all cases).
+        """
+        l1, l2 = self.lambdas
+        u0 = self.y0 - l1 * self.x0  # proportional to A2
+        v0 = self.y0 - l2 * self.x0  # proportional to -A1
+        sign = 1.0 if self.y0 > 0 else -1.0
+        if self.y0 == 0.0:
+            return None
+        bu, bv = sign * u0, sign * v0
+        if bu <= 0.0 or bv <= 0.0:
+            return None
+        log_mag = (
+            l1 * math.log(-l1)
+            + l2 * math.log(bv)
+            - l2 * math.log(-l2)
+            - l1 * math.log(bu)
+        ) / (l2 - l1)
+        return sign * math.exp(log_mag)
+
+    def invariant_lines(self) -> tuple[float, float]:
+        """Slopes of the fast/slow invariant lines ``(lambda1, lambda2)``."""
+        return self.lambdas
+
+    def curve_exponent_relation(self, t: float) -> tuple[float, float]:
+        """Evaluate ``(u, v)`` of eq. (27): ``v = c * u^{lambda1/lambda2}``.
+
+        Returns ``u = y - lambda1 x`` and ``v = y - lambda2 x`` at time
+        ``t`` — the coordinates in which the trajectory is an exact power
+        curve, used by the tests to verify eq. (26)/(27).
+        """
+        x, y = self.state(t)
+        l1, l2 = self.lambdas
+        return y - l1 * x, y - l2 * x
+
+
+@dataclass(frozen=True)
+class DegenerateTrajectory:
+    """Solution of the repeated-eigenvalue (degenerate node) case (eq. 29).
+
+    With ``lambda1 = lambda2 = lambda = -m/2``::
+
+        x(t) = (A3 + A4 t) exp(lambda t)
+        y(t) = (A3 lambda + A4 + A4 lambda t) exp(lambda t)
+
+    where ``A3 = x0`` and ``A4 = y0 - lambda x0``.  The single invariant
+    line is ``y = lambda x``.
+    """
+
+    x0: float
+    y0: float
+    eig: Eigenstructure
+
+    def __post_init__(self) -> None:
+        if self.eig.kind is not FixedPointType.DEGENERATE_NODE:
+            raise ValueError(
+                "DegenerateTrajectory requires a degenerate-node eigenstructure"
+            )
+
+    @property
+    def lam(self) -> float:
+        return self.eig.lambda1.real
+
+    @property
+    def a3(self) -> float:
+        return self.x0
+
+    @property
+    def a4(self) -> float:
+        return self.y0 - self.lam * self.x0
+
+    def state(self, t: float) -> tuple[float, float]:
+        lam, a3, a4 = self.lam, self.a3, self.a4
+        e = math.exp(lam * t)
+        return ((a3 + a4 * t) * e, (a3 * lam + a4 + a4 * lam * t) * e)
+
+    def states(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        lam, a3, a4 = self.lam, self.a3, self.a4
+        e = np.exp(lam * times)
+        x = (a3 + a4 * times) * e
+        y = (a3 * lam + a4 + a4 * lam * times) * e
+        return np.column_stack([x, y])
+
+    def _affine_root(self, c0: float, c1: float) -> float | None:
+        """First ``t > 0`` with ``(c0 + c1 t) exp(lambda t) = 0``."""
+        if c1 == 0.0:
+            return None
+        t = -c0 / c1
+        return t if t > _TIME_EPS else None
+
+    def first_y_zero_time(self) -> float | None:
+        return self._affine_root(self.a3 * self.lam + self.a4, self.a4 * self.lam)
+
+    def first_line_crossing_time(self, line_k: float) -> float | None:
+        # x + k y = (A3(1 + k lam) + A4 k) + A4 (1 + k lam) t, times exp.
+        c0 = self.a3 * (1.0 + line_k * self.lam) + self.a4 * line_k
+        c1 = self.a4 * (1.0 + line_k * self.lam)
+        return self._affine_root(c0, c1)
+
+    def extremum_x(self) -> float | None:
+        t_star = self.first_y_zero_time()
+        if t_star is None:
+            return None
+        return self.state(t_star)[0]
+
+    def extremum_x_paper_formula(self) -> float | None:
+        """The closed form of eq. (34), with a misprint corrected.
+
+        ``x(t*) = -(A4/lambda) * exp(lambda t*)`` with
+        ``lambda t* = -(lambda A3 + A4)/A4``.  The paper prints the
+        exponent as ``-(lambda A3 + A4)/(lambda A4)`` — i.e. ``t*``
+        itself rather than ``lambda t*`` — which is dimensionally a
+        time, not a pure number; evaluating the printed form disagrees
+        with the exact solution by ``exp((1 - lambda) t*)``.  (Erratum
+        documented in EXPERIMENTS.md.)
+        """
+        if self.a4 == 0.0:
+            return None
+        exponent = -(self.lam * self.a3 + self.a4) / self.a4
+        return -(self.a4 / self.lam) * math.exp(exponent)
+
+    def invariant_line(self) -> float:
+        """Slope ``lambda`` of the single invariant line."""
+        return self.lam
+
+
+def linear_trajectory(eig: Eigenstructure, x0: float, y0: float) -> LinearTrajectory:
+    """Construct the closed-form trajectory through ``(x0, y0)``."""
+    if eig.kind is FixedPointType.FOCUS:
+        return SpiralTrajectory(x0, y0, eig)
+    if eig.kind is FixedPointType.NODE:
+        return NodeTrajectory(x0, y0, eig)
+    return DegenerateTrajectory(x0, y0, eig)
+
+
+def trajectory_for(n: float, k: float, x0: float, y0: float) -> LinearTrajectory:
+    """Convenience: classify ``(n, k)`` and build the trajectory in one call."""
+    return linear_trajectory(eigenstructure(n, k), x0, y0)

@@ -1,0 +1,42 @@
+"""Run every registered experiment and print its report.
+
+Usage::
+
+    python -m repro.experiments            # all experiments
+    python -m repro.experiments fig6 t1    # a subset
+    python -m repro.experiments --csv out  # also dump series CSVs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .base import all_experiments, get_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument("--csv", metavar="DIR", help="directory for series CSVs")
+    parser.add_argument("--no-plots", action="store_true")
+    args = parser.parse_args(argv)
+
+    ids = args.ids or sorted(all_experiments())
+    failures = 0
+    for experiment_id in ids:
+        run = get_experiment(experiment_id)
+        result = run(render_plots=not args.no_plots)
+        print(result.render())
+        print()
+        if args.csv:
+            result.save_series(args.csv)
+        if not result.passed:
+            failures += 1
+            print(f"!! {experiment_id} failing verdicts: "
+                  f"{result.failing_verdicts()}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

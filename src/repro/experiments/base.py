@@ -1,0 +1,101 @@
+"""Common result shape and registry for the paper's experiments.
+
+Every figure/table of the paper maps to one module in this package
+exposing ``run(**options) -> ExperimentResult``.  The result carries the
+figure's data series (CSV-ready columns), any tabular rows, and a dict
+of named boolean **verdicts** — the shape properties the paper claims,
+checked programmatically (e.g. "Case 3 never overshoots q0").  The
+benchmark harness runs each experiment, asserts its verdicts and prints
+the series, which is this reproduction's analogue of regenerating the
+figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from ..viz.series import format_table, write_csv
+
+__all__ = ["ExperimentResult", "register", "get_experiment", "all_experiments"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one reproduced figure/table."""
+
+    experiment_id: str
+    title: str
+    series: dict[str, np.ndarray] = field(default_factory=dict)
+    table_headers: list[str] = field(default_factory=list)
+    table_rows: list[list[Any]] = field(default_factory=list)
+    verdicts: dict[str, bool] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+    plots: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """All shape verdicts hold."""
+        return all(self.verdicts.values())
+
+    def failing_verdicts(self) -> list[str]:
+        return [name for name, ok in self.verdicts.items() if not ok]
+
+    def render(self) -> str:
+        """Human-readable report: title, table, verdicts, plots, notes."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.table_rows:
+            lines.append(format_table(self.table_headers, self.table_rows))
+        if self.verdicts:
+            lines.append("verdicts:")
+            for name, ok in self.verdicts.items():
+                lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        lines += self.plots
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def save_series(self, directory: str | Path) -> Path | None:
+        """Write the figure's series to ``<dir>/<id>.csv`` (if any)."""
+        if not self.series:
+            return None
+        lengths = {k: np.asarray(v).size for k, v in self.series.items()}
+        n = max(lengths.values())
+        padded = {}
+        for key, col in self.series.items():
+            arr = np.asarray(col, dtype=float).ravel()
+            if arr.size < n:
+                arr = np.concatenate([arr, np.full(n - arr.size, np.nan)])
+            padded[key] = arr
+        return write_csv(Path(directory) / f"{self.experiment_id}.csv", padded)
+
+
+_REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator registering an experiment's ``run`` callable."""
+
+    def decorator(func: Callable[..., ExperimentResult]):
+        _REGISTRY[experiment_id] = func
+        return func
+
+    return decorator
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up a registered experiment by id (e.g. ``"fig6"``)."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_experiments() -> dict[str, Callable[..., ExperimentResult]]:
+    """All registered experiments, id -> run callable."""
+    return dict(_REGISTRY)

@@ -1,0 +1,74 @@
+"""Figure 10 — Case 4: node in both regions — no overshoot.
+
+For ``a > 4 pm^2 C^2 / w^2`` and ``b > 4 pm^2 C / w^2`` the trajectory
+is parabola-like in both regions: out of ``(-q0, 0)`` along the
+increase node curve, one crossing into the decrease region, then into
+the equilibrium along the decrease region's slow asymptote — never
+leaving the second quadrant, exactly as in Case 3, so strong stability
+is unconditional (Proposition 4).  Case 5 (the degenerate boundary
+``a = 4/k^2``) is verified alongside, since the paper folds it into the
+same proposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.eigen import FixedPointType, Region
+from ..core.phase_plane import PaperCase, PhasePlaneAnalyzer, classify_case
+from ..core.stability import proposition4_applies, strong_stability_report
+from ..viz.ascii import line_plot, phase_plot
+from .base import ExperimentResult, register
+from .presets import CASE4, CASE5, scale_free
+
+__all__ = ["run"]
+
+
+@register("fig10")
+def run(*, render_plots: bool = True) -> ExperimentResult:
+    p = CASE4
+    analyzer = PhasePlaneAnalyzer(p)
+    result = ExperimentResult(
+        experiment_id="fig10",
+        title="Case 4: node/node — unconditional strong stability (Fig. 10)",
+        table_headers=["quantity", "value"],
+    )
+    result.verdicts["classifies_as_case4"] = classify_case(p) is PaperCase.CASE4
+    result.verdicts["both_regions_node"] = all(
+        analyzer.region_eig(r).kind is FixedPointType.NODE
+        for r in (Region.INCREASE, Region.DECREASE)
+    )
+
+    traj = analyzer.compose(max_switches=20)
+    samples = traj.sample(300)
+    result.series["t"] = samples[:, 0]
+    result.series["x"] = samples[:, 1]
+    result.series["y"] = samples[:, 2]
+
+    result.verdicts["single_crossing"] = traj.n_switches == 1
+    result.verdicts["never_overshoots_q0"] = traj.max_x() <= 1e-9 * p.q0
+    result.table_rows.append(["max x (should be <= 0)", traj.max_x()])
+
+    p_tight = scale_free(p.a, p.b, k=p.k, capacity=p.capacity, q0=p.q0,
+                         buffer_size=1.05 * p.q0)
+    report = strong_stability_report(p_tight)
+    result.verdicts["strongly_stable_with_tight_buffer"] = report.strongly_stable
+    result.verdicts["proposition4_governs"] = proposition4_applies(p)
+
+    # Case 5 (degenerate boundary) rides along: also strongly stable.
+    case5 = CASE5
+    result.verdicts["case5_classifies"] = classify_case(case5) is PaperCase.CASE5
+    case5_report = strong_stability_report(case5)
+    result.verdicts["case5_strongly_stable"] = case5_report.strongly_stable
+    result.table_rows.append(["case5 queue peak", case5_report.queue_peak])
+
+    if render_plots:
+        result.plots.append(
+            phase_plot(samples[:, 1], samples[:, 2], switching_k=p.k,
+                       title="Fig.10(a): Case-4 phase trajectory")
+        )
+        result.plots.append(
+            line_plot(samples[:, 0], samples[:, 1], reference=0.0,
+                      title="Fig.10(b): x(t) approaches 0 from below")
+        )
+    return result

@@ -1,0 +1,151 @@
+"""Figure 3 — taxonomy of phase trajectories and strong stability.
+
+The paper's Fig. 3 sketches nine archetypal queue phase curves l1-l9 to
+motivate Definition 1 (strong stability): classical stability criteria
+accept every curve that eventually reaches the equilibrium, yet curves
+that transiently hit the buffer limits (l3: overflow, l4: underflow)
+drop packets or idle the link, and the closed curve l5+l7 (limit cycle)
+never converges at all.  Only trajectories that stay strictly inside
+the buffer strip after a transient (l6, l8, l9 — and the interior of
+l5/l7) are *strongly* stable.
+
+This experiment constructs one concrete trajectory per archetype from
+the actual BCN dynamics (the divergent curves l1/l2 are time-reversed
+stable spirals — the paper's sketch, like ours, shows shapes the rate
+laws themselves never produce, since Proposition 1 rules them out) and
+verifies that the strong-stability classifier labels each exactly as
+the paper does.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.eigen import Region, region_eigenstructure
+from ..core.phase_plane import PhasePlaneAnalyzer
+from ..core.trajectories import SpiralTrajectory
+from ..fluid.integrate import simulate_fluid
+from ..viz.ascii import phase_plot
+from .base import ExperimentResult, register
+from .presets import CASE1_SLOW, scale_free
+
+__all__ = ["run"]
+
+
+def _composed_xy(params, x0, y0, *, max_switches=40, points=120):
+    analyzer = PhasePlaneAnalyzer(params)
+    traj = analyzer.compose(x0, y0, max_switches=max_switches)
+    samples = traj.sample(points)
+    return traj, samples[:, 1], samples[:, 2]
+
+
+@register("fig3")
+def run(*, render_plots: bool = True) -> ExperimentResult:
+    """Reproduce the Fig. 3 taxonomy; verdict per archetype label."""
+    p = CASE1_SLOW
+    strip_lo, strip_hi = -p.q0, p.buffer_size - p.q0
+    result = ExperimentResult(
+        experiment_id="fig3",
+        title="Taxonomy of phase trajectories vs strong stability (Fig. 3)",
+        table_headers=["curve", "construction", "peak x", "trough x", "label", "as paper"],
+    )
+
+    # -- l1/l2: divergent spirals (time-reversed stable increase spiral).
+    eig = region_eigenstructure(p, Region.INCREASE)
+    seed = SpiralTrajectory(0.05 * p.q0, 0.0, eig)
+    # Integrate backwards long enough for the growing spiral to escape
+    # the buffer strip (growth is exp(|alpha| t)).
+    t_escape = math.log(strip_hi / (0.05 * p.q0) * 4.0) / abs(eig.alpha)
+    ts = np.linspace(0.0, -t_escape, 600)
+    diverging = seed.states(ts)
+    div_peak = float(diverging[:, 0].max())
+    div_escapes = div_peak >= strip_hi or float(diverging[:, 0].min()) <= strip_lo
+    result.table_rows.append(
+        ["l1/l2", "time-reversed spiral", div_peak, float(diverging[:, 0].min()),
+         "unstable", div_escapes]
+    )
+    result.verdicts["l1_l2_divergent_escapes_strip"] = div_escapes
+    result.series["l1_x"] = diverging[:, 0]
+    result.series["l1_y"] = diverging[:, 1]
+
+    # -- l3: converging but transiently overflowing (small buffer).
+    p_small_buffer = scale_free(p.a, p.b, k=p.k, capacity=p.capacity,
+                                q0=p.q0, buffer_size=p.q0 * 1.6)
+    traj3, x3, y3 = _composed_xy(p_small_buffer, -p.q0, 0.0)
+    l3_overflows = traj3.overflows() and traj3.amplitude_trend() is not None
+    result.table_rows.append(
+        ["l3", "converging, buffer 1.6*q0", traj3.max_x(), traj3.min_x_after_start(),
+         "not strongly stable (overflow)", l3_overflows]
+    )
+    result.verdicts["l3_overflow_detected"] = l3_overflows
+    result.series["l3_x"] = x3
+    result.series["l3_y"] = y3
+
+    # -- l4: converging but re-emptying the queue (large initial rate).
+    traj4, x4, y4 = _composed_xy(p, 0.0, 6.0 * p.q0)
+    l4_underflows = traj4.min_x_after_start() <= strip_lo
+    result.table_rows.append(
+        ["l4", "start (0, 6 q0): deep trough", traj4.max_x(), traj4.min_x_after_start(),
+         "not strongly stable (underflow)", l4_underflows]
+    )
+    result.verdicts["l4_underflow_detected"] = l4_underflows
+    result.series["l4_x"] = x4
+    result.series["l4_y"] = y4
+
+    # -- l5+l7: the closed curve — the w -> 0 (undamped) limit cycle.
+    p_cycle = scale_free(p.a, p.b, k=1e-6, capacity=p.capacity,
+                         q0=p.q0, buffer_size=p.buffer_size)
+    cycle = simulate_fluid(p_cycle, x0=-0.8 * p.q0, y0=0.0, t_max=30.0,
+                           mode="nonlinear", max_switches=200)
+    peaks = [x for _, x in cycle.extrema if x > 0]
+    sustained = (
+        not cycle.converged
+        and len(peaks) >= 3
+        and np.std(peaks[-3:]) <= 0.05 * abs(np.mean(peaks[-3:])) + 1e-9
+    )
+    result.table_rows.append(
+        ["l5+l7", "w -> 0 closed orbit", cycle.max_x(), cycle.min_x(),
+         "limit cycle (not strongly stable)", sustained]
+    )
+    result.verdicts["l5_l7_limit_cycle_sustained"] = sustained
+    result.series["l5_x"] = cycle.x
+    result.series["l5_y"] = cycle.y
+
+    # -- l6/l8/l9: strongly stable trajectories from assorted starts.
+    stable_ok = True
+    for name, (x0, y0) in {
+        "l6": (-p.q0, 0.0),
+        "l8": (0.3 * p.q0, 0.0),
+        "l9": (0.0, -0.05 * p.capacity),
+    }.items():
+        traj, xs, ys = _composed_xy(p, x0, y0)
+        inside = (
+            traj.max_x() < strip_hi
+            and traj.min_x_after_start() > strip_lo
+            and (traj.converged or (traj.amplitude_trend() or 1.0) < 1.0)
+        )
+        stable_ok = stable_ok and inside
+        result.table_rows.append(
+            [name, f"start ({x0:.3g}, {y0:.3g})", traj.max_x(),
+             traj.min_x_after_start(), "strongly stable", inside]
+        )
+        result.series[f"{name}_x"] = xs
+        result.series[f"{name}_y"] = ys
+    result.verdicts["l6_l8_l9_strongly_stable"] = stable_ok
+
+    if render_plots:
+        result.plots.append(
+            phase_plot(
+                np.concatenate([result.series["l6_x"], result.series["l5_x"]]),
+                np.concatenate([result.series["l6_y"], result.series["l5_y"]]),
+                switching_k=p.k,
+                title="Fig.3 (excerpt): strongly stable spiral + boundary limit cycle",
+            )
+        )
+    result.notes.append(
+        "l1/l2 cannot arise from the BCN rate laws (Proposition 1); they are "
+        "shown, as in the paper, to complete the taxonomy."
+    )
+    return result

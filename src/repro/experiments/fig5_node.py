@@ -1,0 +1,112 @@
+"""Figure 5 — parabola-like trajectories of the stable-node case.
+
+Fig. 5 shows node-case (``m^2 - 4n > 0``) trajectories from several
+initial points together with the invariant lines ``y = lambda_1 x`` and
+``y = lambda_2 x``.  Reproduced checks:
+
+* the invariant lines are genuinely invariant (a trajectory started on
+  one stays on it, eq. 24/25);
+* every other trajectory obeys the power-curve relation of eq. (26)/(27)
+  in the ``(u, v)`` coordinates, and approaches the origin *tangent to
+  the slow line* ``y = lambda_2 x`` (its asymptote);
+* the global-extremum formula (eq. 28) matches the robust evaluation;
+* the BCN structural ordering ``lambda_1 < lambda_2 < -1/k`` holds, the
+  geometric fact behind "node regions never re-cross the switching
+  line".
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.eigen import Region, region_eigenstructure
+from ..core.trajectories import NodeTrajectory
+from ..viz.ascii import phase_plot
+from .base import ExperimentResult, register
+from .presets import CASE4
+
+__all__ = ["run"]
+
+
+@register("fig5")
+def run(*, render_plots: bool = True) -> ExperimentResult:
+    p = CASE4
+    eig = region_eigenstructure(p, Region.INCREASE)
+    lam1, lam2 = eig.real_eigenvalues
+    result = ExperimentResult(
+        experiment_id="fig5",
+        title="Node trajectories and invariant lines (Fig. 5)",
+        table_headers=["start", "extremum (robust)", "extremum (paper eq.28)", "rel err"],
+    )
+
+    result.verdicts["eigenvalue_ordering_lam1_lt_lam2_lt_minus_1_over_k"] = (
+        lam1 < lam2 < -1.0 / p.k
+    )
+
+    # Invariant lines stay invariant.
+    for lam, name in ((lam1, "fast"), (lam2, "slow")):
+        traj = NodeTrajectory(1.0, lam, eig)
+        ts = np.linspace(0.0, 5.0 / abs(lam2), 100)
+        states = traj.states(ts)
+        residual = np.max(np.abs(states[:, 1] - lam * states[:, 0]))
+        result.verdicts[f"{name}_line_invariant"] = residual < 1e-9
+
+    starts = {
+        "p1": (-p.q0, 0.8 * p.q0),
+        "p2": (0.6 * p.q0, -0.9 * p.q0),
+        "p3": (-0.4 * p.q0, -0.5 * p.q0),
+    }
+    formula_ok = True
+    asymptote_ok = True
+    power_curve_ok = True
+    for name, (x0, y0) in starts.items():
+        traj = NodeTrajectory(x0, y0, eig)
+        ts = np.linspace(0.0, 8.0 / abs(lam2), 400)
+        states = traj.states(ts)
+        result.series[f"{name}_x"] = states[:, 0]
+        result.series[f"{name}_y"] = states[:, 1]
+
+        ext_robust = traj.extremum_x()
+        ext_paper = traj.extremum_x_paper_formula()
+        if ext_robust is not None and ext_paper is not None:
+            rel = abs(ext_paper - ext_robust) / max(abs(ext_robust), 1e-12)
+            formula_ok = formula_ok and rel < 1e-9
+            result.table_rows.append([f"{name} ({x0:.3g},{y0:.3g})",
+                                      ext_robust, ext_paper, rel])
+
+        # Late-time slope tends to lambda_2 (slow asymptote), unless the
+        # start sits exactly on the fast line.
+        x_late, y_late = traj.state(ts[-1])
+        if abs(x_late) > 1e-300:
+            asymptote_ok = asymptote_ok and math.isclose(
+                y_late / x_late, lam2, rel_tol=1e-3
+            )
+
+        # eq. (26): (y - l2 x)^l2 * c = (y - l1 x)^l1 — checked through the
+        # (u, v) transform: log v - (l1/l2) log u must be constant.
+        us, vs = [], []
+        for t in np.linspace(0.0, 2.0 / abs(lam2), 50):
+            u, v = traj.curve_exponent_relation(float(t))
+            if u * traj.curve_exponent_relation(0.0)[0] > 0 and v * traj.curve_exponent_relation(0.0)[1] > 0:
+                us.append(abs(u))
+                vs.append(abs(v))
+        if len(us) > 10:
+            const = np.log(vs) - (lam1 / lam2) * np.log(us)
+            power_curve_ok = power_curve_ok and float(np.ptp(const)) < 1e-6
+
+    result.verdicts["paper_eq28_matches_robust"] = formula_ok
+    result.verdicts["trajectories_approach_slow_asymptote"] = asymptote_ok
+    result.verdicts["power_curve_relation_eq27"] = power_curve_ok
+
+    if render_plots:
+        xs = np.concatenate([result.series[f"{n}_x"] for n in starts])
+        ys = np.concatenate([result.series[f"{n}_y"] for n in starts])
+        result.plots.append(
+            phase_plot(xs, ys, title="Fig.5: node trajectories (invariant lines omitted)")
+        )
+    result.notes.append(
+        f"lambda_1 = {lam1:.4g}, lambda_2 = {lam2:.4g}, -1/k = {-1.0 / p.k:.4g}"
+    )
+    return result

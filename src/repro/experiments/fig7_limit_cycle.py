@@ -1,0 +1,166 @@
+"""Figure 7 — limit-cycle motion of the BCN queue.
+
+Fig. 7 shows a closed phase trajectory: queue and rate oscillating with
+constant amplitude forever, a behaviour "observed in some experiments
+of [4]" that linear analysis cannot explain.  This experiment
+reproduces the phenomenon and sharpens the paper's account of *when* it
+occurs:
+
+1. **Return-map scan.**  For generic parameters the Poincaré return map
+   on the switching line is strictly contracting at every amplitude
+   (``P(y)/y <= rho_lin < 1``): the increase region is exactly linear
+   with fixed contraction and the decrease nonlinearity only helps.  So
+   the smooth fluid model has **no isolated interior limit cycle**, and
+   the paper's cycle condition ``x_i^k(0) = x_i^{k+1}(0)`` is the
+   knife-edge ``rho = 1``.
+2. **The w -> 0 mechanism.**  All damping in the BCN loop enters
+   through ``k = w/(pm C)`` — the weight of the queue *derivative* in
+   ``sigma``.  The per-round contraction is
+   ``rho = exp(-pi k (sqrt(a) + sqrt(bC))/2 + O(k^3))``, so
+   ``rho -> 1`` as ``w -> 0``: with the derivative term disabled the
+   feedback is purely proportional to the queue offset, both regions
+   become undamped centers, and **every** orbit closes — the queue and
+   rate oscillate forever with initial-condition-dependent amplitude,
+   exactly Fig. 7's picture (an oval with different half-widths
+   ``y0/sqrt(bC)`` right of the line and ``y0/sqrt(a)`` left of it).
+   We reproduce the closed orbit at ``k = 1e-6`` and verify amplitude
+   constancy and closure over several rounds.
+3. **Residual cycling in the real system.**  The quantized DES never
+   converges exactly — FB quantization leaves a persistent hunting
+   oscillation around ``q0`` whose amplitude floors near the
+   quantization unit; measured here as a non-vanishing steady-state
+   queue std.
+
+Together: limit cycles in BCN mark the loss of derivative damping
+(small ``w``, aggressive sampling scaling) plus the granularity of real
+feedback — and they sit outside strong stability because the system
+never settles, as the paper argues.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.limit_cycle import amplitude_scan, find_limit_cycle, linearized_contraction
+from ..core.parameters import paper_example_params
+from ..fluid.integrate import simulate_fluid
+from ..simulation.network import BCNNetworkSimulator
+from ..viz.ascii import line_plot, phase_plot
+from .base import ExperimentResult, register
+from .presets import CASE1_SLOW, scale_free
+
+__all__ = ["run"]
+
+
+@register("fig7")
+def run(*, render_plots: bool = True, with_des: bool = True) -> ExperimentResult:
+    p = CASE1_SLOW
+    result = ExperimentResult(
+        experiment_id="fig7",
+        title="Limit-cycle motion (Fig. 7)",
+        table_headers=["quantity", "value"],
+    )
+
+    # 1. Generic parameters: the smooth model contracts everywhere.
+    rho_lin = linearized_contraction(p)
+    ys = np.geomspace(1e-3 * p.capacity, 0.9 * p.capacity, 10)
+    scan = amplitude_scan(p, ys)
+    ratios = scan[:, 1]
+    result.series["scan_y"] = scan[:, 0]
+    result.series["scan_ratio"] = ratios
+    result.table_rows.append(["rho_lin at k=0.1", rho_lin])
+    result.table_rows.append(["max nonlinear P(y)/y", float(ratios.max())])
+    result.verdicts["smooth_model_contracts_everywhere"] = bool(np.all(ratios < 1.0))
+    result.verdicts["no_interior_limit_cycle"] = find_limit_cycle(p) is None
+
+    # 2. rho -> 1 as k -> 0 (loss of derivative damping).
+    rhos = []
+    for k in (0.2, 0.05, 0.01, 0.001):
+        pk = scale_free(p.a, p.b, k=k, capacity=p.capacity, q0=p.q0,
+                        buffer_size=p.buffer_size)
+        rhos.append(linearized_contraction(pk))
+        result.table_rows.append([f"rho at k={k}", rhos[-1]])
+    result.verdicts["contraction_vanishes_as_k_to_0"] = bool(
+        np.all(np.diff(rhos) > 0) and rhos[-1] > 0.99
+    )
+    predicted = math.exp(
+        -math.pi * 0.001 * (math.sqrt(p.a) + math.sqrt(p.b * p.capacity)) / 2.0
+    )
+    result.verdicts["small_k_expansion_matches"] = (
+        abs(rhos[-1] - predicted) / predicted < 1e-4
+    )
+
+    # The closed orbit at k ~ 0: constant-amplitude oscillation.  The
+    # orbit is integrated in the paper's linearised system (eq. 9, the
+    # system its Fig. 7 describes); in the *full nonlinear* system even
+    # the k = 0 orbits spiral slowly inward, because the (y + C) factor
+    # is asymmetric across a decrease pass (enter at +y*, exit at
+    # -y' with y' < y*) — quantified below as a further sharpening.
+    p0 = scale_free(p.a, p.b, k=1e-6, capacity=p.capacity, q0=p.q0,
+                    buffer_size=1e6 * p.q0)
+    orbit = simulate_fluid(p0, x0=-0.8 * p0.q0, y0=0.0, t_max=40.0,
+                           mode="linearized", max_switches=200)
+    peaks = np.array([x for _, x in orbit.extrema if x > 0])
+    troughs = np.array([x for _, x in orbit.extrema if x < 0])
+    result.series["cycle_t"] = orbit.t
+    result.series["cycle_x"] = orbit.x
+    result.series["cycle_y"] = orbit.y
+    result.table_rows.append(["closed-orbit rounds observed", len(peaks)])
+    if len(peaks) >= 4:
+        drift = float(np.ptp(peaks)) / float(np.mean(peaks))
+        result.table_rows.append(["peak drift over run (rel)", drift])
+        result.verdicts["constant_amplitude_oscillation"] = drift < 1e-3
+        result.verdicts["does_not_converge"] = not orbit.converged
+        # Fig. 7 oval shape: right/left half-width ratio ~ sqrt(a / bC).
+        shape = float(np.mean(peaks)) / float(-np.mean(troughs))
+        expected_shape = math.sqrt(p.a / (p.b * p.capacity))
+        result.table_rows.append(["half-width ratio", shape])
+        result.verdicts["oval_shape_matches_sqrt_a_over_bc"] = (
+            abs(shape - expected_shape) / expected_shape < 0.05
+        )
+
+    # Sharpening: the nonlinear (y + C) decrease factor dissipates even
+    # at k = 0 — the same start in the full model spirals slowly inward.
+    nonlinear_orbit = simulate_fluid(p0, x0=-0.8 * p0.q0, y0=0.0,
+                                     t_max=40.0, mode="nonlinear",
+                                     max_switches=200)
+    nl_peaks = np.array([x for _, x in nonlinear_orbit.extrema if x > 0])
+    if len(nl_peaks) >= 3:
+        per_round = float(nl_peaks[1] / nl_peaks[0])
+        result.table_rows.append(
+            ["nonlinear per-round decay at k=0", per_round]
+        )
+        result.verdicts["nonlinearity_dissipates_even_at_k0"] = per_round < 1.0
+
+    # 3. Quantization keeps the real system hunting forever.
+    if with_des:
+        des = BCNNetworkSimulator(
+            paper_example_params(), regulator_mode="message", fb_bits=4
+        )
+        des_res = des.run(0.1)
+        tail = des_res.t >= 0.7 * des_res.t[-1]
+        residual_std = float(des_res.queue[tail].std())
+        unit = paper_example_params().q0 / 4.0  # 4-bit FB quantization unit
+        result.table_rows.append(["DES residual queue std (bits)", residual_std])
+        result.table_rows.append(["FB quantization unit (bits)", unit])
+        result.verdicts["quantized_des_keeps_hunting"] = residual_std > 0.01 * unit
+        result.series["des_t"] = des_res.t
+        result.series["des_q"] = des_res.queue
+
+    if render_plots:
+        result.plots.append(
+            phase_plot(orbit.x, orbit.y,
+                       title="Fig.7(a): closed orbit at w->0 (limit cycle)")
+        )
+        result.plots.append(
+            line_plot(orbit.t, orbit.x, reference=0.0,
+                      title="Fig.7(b): constant-amplitude queue oscillation")
+        )
+    result.notes.append(
+        "Sharpened account: for k > 0 the smooth fluid model always spirals "
+        "in (no interior cycle); the Fig.7 cycle is the k -> 0 (w -> 0) "
+        "marginal case, where sigma loses its derivative damping term."
+    )
+    return result

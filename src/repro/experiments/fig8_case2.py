@@ -1,0 +1,96 @@
+"""Figure 8 — Case 2: node in the increase region, spiral in the decrease.
+
+For ``a > 4 pm^2 C^2 / w^2`` and ``b < 4 pm^2 C / w^2``, Fig. 8 shows a
+trajectory that leaves ``(-q0, 0)`` along a parabola-like node curve,
+crosses the switching line in the second quadrant, spirals once through
+the decrease region producing a single overshoot ``max2{x}``, re-enters
+the increase region in the fourth quadrant, and then approaches the
+equilibrium along the slow invariant line ``y = lambda_2 x`` without
+ever crossing the switching line again.  Reproduced checks:
+
+* case classification and exactly two switching-line crossings;
+* the first crossing is in the second quadrant (x < 0, y > 0), the
+  second in the fourth;
+* the single positive peak equals the paper's eq. (38) closed form;
+* the final segment's slope tends to ``lambda_2`` (asymptote approach)
+  and the trajectory never re-crosses (the ``lambda_2 < -1/k`` geometry);
+* Proposition 3 and Theorem 1 agree with the trajectory verdict.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.eigen import Region
+from ..core.phase_plane import PaperCase, PhasePlaneAnalyzer, classify_case
+from ..core.stability import case2_peak_bound, strong_stability_report, theorem1_criterion
+from ..viz.ascii import line_plot, phase_plot
+from .base import ExperimentResult, register
+from .presets import CASE2
+
+__all__ = ["run"]
+
+
+@register("fig8")
+def run(*, render_plots: bool = True) -> ExperimentResult:
+    p = CASE2
+    analyzer = PhasePlaneAnalyzer(p)
+    result = ExperimentResult(
+        experiment_id="fig8",
+        title="Case 2: node increase / spiral decrease (Fig. 8)",
+        table_headers=["quantity", "composed", "paper closed form", "rel err"],
+    )
+    result.verdicts["classifies_as_case2"] = classify_case(p) is PaperCase.CASE2
+
+    traj = analyzer.compose(max_switches=20)
+    samples = traj.sample(300)
+    result.series["t"] = samples[:, 0]
+    result.series["x"] = samples[:, 1]
+    result.series["y"] = samples[:, 2]
+
+    result.verdicts["exactly_two_crossings"] = traj.n_switches == 2
+    if traj.n_switches >= 2:
+        _, x1, y1 = traj.switch_states[0]
+        _, x2, y2 = traj.switch_states[1]
+        result.verdicts["first_crossing_second_quadrant"] = x1 < 0 < y1
+        result.verdicts["second_crossing_fourth_quadrant"] = y2 < 0 < x2
+
+    peaks = [x for _, x in traj.extrema if x > 0]
+    max2 = case2_peak_bound(p)
+    rel = abs(peaks[0] - max2) / max2 if peaks else math.inf
+    result.table_rows.append(["peak max2{x}", peaks[0] if peaks else None, max2, rel])
+    result.verdicts["eq38_matches_peak"] = rel < 1e-9
+    result.verdicts["single_overshoot"] = len(peaks) == 1
+
+    # Final segment: approaches the slow line of the increase region.
+    final = traj.segments[-1]
+    result.verdicts["final_segment_in_increase_region"] = final.region is Region.INCREASE
+    eig = analyzer.region_eig(Region.INCREASE)
+    lam1, lam2 = eig.real_eigenvalues
+    x_late, y_late = final.trajectory.state(6.0 / abs(lam2))
+    result.verdicts["approaches_slow_asymptote"] = (
+        abs(x_late) > 0 and math.isclose(y_late / x_late, lam2, rel_tol=1e-3)
+    )
+
+    report = strong_stability_report(p)
+    result.verdicts["proposition3_governs"] = report.proposition == 3
+    result.verdicts["strongly_stable_iff_theorem1"] = (
+        report.strongly_stable or not theorem1_criterion(p)
+    )
+    result.table_rows.append(
+        ["queue peak (q units)", report.queue_peak, report.bound_peak,
+         abs(report.queue_peak - report.bound_peak) / report.bound_peak]
+    )
+
+    if render_plots:
+        result.plots.append(
+            phase_plot(samples[:, 1], samples[:, 2], switching_k=p.k,
+                       title="Fig.8(a): Case-2 phase trajectory")
+        )
+        result.plots.append(
+            line_plot(samples[:, 0], samples[:, 1], reference=0.0,
+                      title="Fig.8(b): queue offset x(t) — single overshoot")
+        )
+    return result

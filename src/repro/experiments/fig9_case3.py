@@ -1,0 +1,75 @@
+"""Figure 9 — Case 3: spiral increase, node decrease — no overshoot.
+
+For ``a < 4 pm^2 C^2 / w^2`` and ``b > 4 pm^2 C / w^2``, Fig. 9 shows
+the trajectory spiralling out of ``(-q0, 0)``, crossing the switching
+line once in the second quadrant, and then — because the decrease
+region is a node whose slow invariant line ``y = lambda_2 x`` is an
+asymptote — sliding into the equilibrium while **remaining in the
+second quadrant**: the queue never overshoots the reference ``q0``
+(Fig. 9(b)), so the system is strongly stable for *any* buffer larger
+than ``q0``.  Reproduced checks:
+
+* case classification and exactly one switching-line crossing;
+* ``x(t) < 0`` for all time (queue strictly below ``q0``; approaches
+  from below);
+* strong stability holds even with a buffer barely above ``q0``;
+* Proposition 4 governs and agrees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.phase_plane import PaperCase, PhasePlaneAnalyzer, classify_case
+from ..core.stability import proposition4_applies, strong_stability_report
+from ..viz.ascii import line_plot, phase_plot
+from .base import ExperimentResult, register
+from .presets import CASE3, scale_free
+
+__all__ = ["run"]
+
+
+@register("fig9")
+def run(*, render_plots: bool = True) -> ExperimentResult:
+    p = CASE3
+    analyzer = PhasePlaneAnalyzer(p)
+    result = ExperimentResult(
+        experiment_id="fig9",
+        title="Case 3: spiral increase / node decrease — no overshoot (Fig. 9)",
+        table_headers=["quantity", "value"],
+    )
+    result.verdicts["classifies_as_case3"] = classify_case(p) is PaperCase.CASE3
+
+    traj = analyzer.compose(max_switches=20)
+    samples = traj.sample(300)
+    result.series["t"] = samples[:, 0]
+    result.series["x"] = samples[:, 1]
+    result.series["y"] = samples[:, 2]
+
+    result.verdicts["single_crossing"] = traj.n_switches == 1
+    result.verdicts["never_overshoots_q0"] = traj.max_x() <= 1e-9 * p.q0
+    result.verdicts["queue_stays_in_second_quadrant_after_crossing"] = bool(
+        np.all(samples[:, 1] <= 1e-9 * p.q0)
+    )
+    result.table_rows.append(["max x (should be <= 0)", traj.max_x()])
+    result.table_rows.append(["crossings", traj.n_switches])
+
+    # Strong stability survives a buffer barely above q0.
+    p_tight = scale_free(p.a, p.b, k=p.k, capacity=p.capacity, q0=p.q0,
+                         buffer_size=1.05 * p.q0)
+    tight_report = strong_stability_report(p_tight)
+    result.verdicts["strongly_stable_with_tight_buffer"] = tight_report.strongly_stable
+    result.verdicts["proposition4_governs"] = (
+        proposition4_applies(p) and tight_report.proposition == 4
+    )
+
+    if render_plots:
+        result.plots.append(
+            phase_plot(samples[:, 1], samples[:, 2], switching_k=p.k,
+                       title="Fig.9(a): Case-3 phase trajectory")
+        )
+        result.plots.append(
+            line_plot(samples[:, 0], samples[:, 1], reference=0.0,
+                      title="Fig.9(b): x(t) approaches 0 from below")
+        )
+    return result

@@ -1,0 +1,62 @@
+"""Canonical parameter presets for the per-case experiments.
+
+The case taxonomy depends only on ``a`` and ``b C`` against the focus
+threshold ``4/k^2``, so the figures use a scale-free normalisation
+(``k = 1``, ``C = 100``, ``q0 = 10``) where the threshold is simply 4:
+trajectories and verdicts are then easy to read, and every property is
+invariant under rescaling back to physical units (10 Gbit/s class
+parameters are exercised separately through :data:`PAPER_PHYSICAL`).
+"""
+
+from __future__ import annotations
+
+from ..core.parameters import NormalizedParams, paper_example_params
+
+__all__ = [
+    "scale_free",
+    "CASE1",
+    "CASE2",
+    "CASE3",
+    "CASE4",
+    "CASE5",
+    "CASE1_SLOW",
+    "PAPER_PHYSICAL",
+]
+
+
+def scale_free(
+    a: float,
+    b: float,
+    *,
+    k: float = 1.0,
+    capacity: float = 100.0,
+    q0: float = 10.0,
+    buffer_size: float = 100.0,
+) -> NormalizedParams:
+    """Build a scale-free parameter set (focus threshold ``4/k^2``)."""
+    return NormalizedParams(
+        a=a, b=b, k=k, capacity=capacity, q0=q0, buffer_size=buffer_size
+    )
+
+
+#: Case 1 — both regions spiral (a < 4, bC < 4 with k = 1).
+CASE1 = scale_free(2.0, 0.02)
+
+#: Case 2 — increase node, decrease spiral (a > 4, bC < 4).
+CASE2 = scale_free(8.0, 0.02)
+
+#: Case 3 — increase spiral, decrease node (a < 4, bC > 4).
+CASE3 = scale_free(2.0, 0.08)
+
+#: Case 4 — both regions node (a > 4, bC > 4).
+CASE4 = scale_free(8.0, 0.08)
+
+#: Case 5 — degenerate boundary (a exactly at the threshold).
+CASE5 = scale_free(4.0, 0.02)
+
+#: A gently damped Case 1 (small k): many visible oscillation rounds,
+#: the regime of the paper's worked example.
+CASE1_SLOW = scale_free(2.0, 0.02, k=0.1, buffer_size=200.0)
+
+#: The Section IV worked example in physical units.
+PAPER_PHYSICAL = paper_example_params()

@@ -1,0 +1,105 @@
+"""T1 — Theorem 1's worked example and buffer-sizing guidance.
+
+The Remarks of Section IV apply Theorem 1 to a concrete DCE
+configuration: ``N = 50`` flows on a ``C = 10`` Gbit/s, 100 m link
+(0.5 us propagation delay), ``q0 = 2.5`` Mbit, and the standard-draft
+gains ``Gi = 4``, ``Gd = 1/128``, ``Ru = 8`` Mbit/s.  The paper reports:
+
+* required buffer ``(1 + sqrt(Ru Gi N / (Gd C))) q0 ~= 13.75`` Mbit,
+  "nearly three times" the 5 Mbit bandwidth-delay product;
+* ``max q(t)`` scales with ``sqrt(N / C) * q0`` and is independent of
+  ``w`` and ``pm``;
+* decreasing ``Gi`` / increasing ``Gd`` shrinks the required buffer at
+  the cost of sluggish convergence; small ``q0`` helps stability but
+  stretches the start-up time ``T0 = (C - N mu)/(N Ru Gi q0)``.
+
+All of this is reproduced and checked.  One arithmetic note (recorded,
+not "fixed"): 10 Gbit/s x 0.5 us is 5 *kbit*, so the paper's "5 Mbits"
+BDP corresponds to a 0.5 ms RTT (or is quoted at a 1000x scale); we
+carry the paper's 5 Mbit figure for the ratio comparison and also
+report the literal product.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.parameters import paper_example_params
+from ..core.stability import required_buffer, strong_stability_report
+from .base import ExperimentResult, register
+
+__all__ = ["run"]
+
+PAPER_REQUIRED_MBIT = 13.75
+PAPER_BDP_MBIT = 5.0
+
+
+@register("t1")
+def run(*, render_plots: bool = True) -> ExperimentResult:
+    p = paper_example_params()
+    result = ExperimentResult(
+        experiment_id="t1",
+        title="Theorem 1 worked example (Section IV Remarks)",
+        table_headers=["quantity", "paper", "reproduced", "rel err"],
+    )
+
+    required = required_buffer(p)
+    rel = abs(required / 1e6 - PAPER_REQUIRED_MBIT) / PAPER_REQUIRED_MBIT
+    result.table_rows.append(
+        ["required buffer (Mbit)", PAPER_REQUIRED_MBIT, required / 1e6, rel]
+    )
+    result.verdicts["required_buffer_matches_paper"] = rel < 0.01
+
+    ratio = required / (PAPER_BDP_MBIT * 1e6)
+    result.table_rows.append(
+        ["required / BDP", "nearly 3x", ratio, abs(ratio - 2.75) / 2.75]
+    )
+    result.verdicts["nearly_three_times_bdp"] = 2.5 <= ratio <= 3.0
+
+    literal_bdp = p.capacity * 0.5e-6
+    result.table_rows.append(
+        ["literal C*delay (bits)", "5e6 (paper)", literal_bdp, float("nan")]
+    )
+
+    # The bound dominates the actual transient peak (composed trajectory).
+    report = strong_stability_report(p)
+    result.table_rows.append(
+        ["max q(t) (Mbit)", "<= bound", report.queue_peak / 1e6,
+         report.queue_peak / required]
+    )
+    result.verdicts["bound_dominates_peak"] = report.queue_peak <= required
+    result.verdicts["strongly_stable_with_20Mbit_buffer"] = report.strongly_stable
+
+    # Scaling claims: sqrt(N/C) growth; independence from w and pm.
+    required_4n = required_buffer(p.with_(n_flows=200))
+    expected = p.q0 + (required - p.q0) * 2.0  # sqrt(4N) = 2 sqrt(N)
+    result.table_rows.append(
+        ["buffer at 4N (Mbit)", expected / 1e6, required_4n / 1e6,
+         abs(required_4n - expected) / expected]
+    )
+    result.verdicts["scales_with_sqrt_n"] = (
+        abs(required_4n - expected) / expected < 1e-9
+    )
+    result.verdicts["independent_of_w_pm"] = (
+        required_buffer(p.with_(w=4.0)) == required
+        and required_buffer(p.with_(pm=0.05)) == required
+    )
+
+    # Gain trade-off: smaller Gi (or larger Gd) shrinks the buffer...
+    gentler = p.with_(gi=1.0)
+    result.verdicts["smaller_gi_shrinks_buffer"] = (
+        required_buffer(gentler) < required
+    )
+    # ...but slows convergence (longer start-up and weaker contraction).
+    t0_base = p.warmup_duration()
+    t0_small_q0 = p.with_(q0=p.q0 / 4).warmup_duration()
+    result.table_rows.append(["warm-up T0 (s)", "grows as q0 shrinks",
+                              t0_base, float("nan")])
+    result.verdicts["smaller_q0_stretches_warmup"] = t0_small_q0 > t0_base
+
+    result.notes.append(
+        "sqrt(Ru Gi N/(Gd C)) = "
+        f"{math.sqrt(p.ru * p.gi * p.n_flows / (p.gd * p.capacity)):.4f}; "
+        "the paper's 13.75 Mbit corresponds to rounding this factor to 4.5."
+    )
+    return result

@@ -1,0 +1,80 @@
+"""V2 (extension) — fluid model vs packet-level DES agreement.
+
+The paper's results live entirely in the fluid approximation; this
+experiment checks that the packet-level substrate reproduces the same
+queue dynamics where the approximation's premises hold (BCN message
+interval well below the control-loop period).  The run uses the
+fluid-matched regulator semantics and the paper's idealised
+unconditional positive feedback, then compares shapes: both sides must
+show the same decaying oscillation around ``q0`` with commensurate peak
+and period.
+"""
+
+from __future__ import annotations
+
+from ..analysis.validation import fluid_vs_packet
+from ..core.parameters import BCNParams
+from ..viz.ascii import line_plot
+from .base import ExperimentResult, register
+
+__all__ = ["run", "validation_params"]
+
+
+def validation_params() -> BCNParams:
+    """A regime where the fluid limit holds: message interval ~1 ms
+    (1.5 kbit frames, ``pm = 0.1``) against a ~50 ms spiral period."""
+    return BCNParams(
+        capacity=1e9,
+        n_flows=10,
+        q0=2e6,
+        buffer_size=16e6,
+        w=2.0,
+        pm=0.1,
+        gi=4.0,
+        gd=1e-5,
+        ru=400.0,
+    )
+
+
+@register("v2")
+def run(*, render_plots: bool = True, duration: float = 0.4) -> ExperimentResult:
+    params = validation_params()
+    report, series = fluid_vs_packet(params, duration=duration, frame_bits=1500)
+    result = ExperimentResult(
+        experiment_id="v2",
+        title="Fluid model vs packet-level DES (queue trajectory shape)",
+        table_headers=["metric", "value"],
+        series={
+            "fluid_t": series["fluid_t"],
+            "fluid_q": series["fluid_q"],
+            "packet_t": series["packet_t"],
+            "packet_q": series["packet_q"],
+        },
+    )
+    result.table_rows.append(["nrmse", report.nrmse])
+    result.table_rows.append(["peak ratio (packet/fluid)", report.peak_ratio])
+    result.table_rows.append(["mean ratio", report.mean_ratio])
+    result.table_rows.append(["period ratio", report.period_ratio])
+    result.table_rows.append(["fluid class", report.reference_class])
+    result.table_rows.append(["packet class", report.candidate_class])
+
+    result.verdicts["same_oscillation_class"] = (
+        report.reference_class == report.candidate_class
+    )
+    result.verdicts["peak_within_2x"] = 0.5 <= report.peak_ratio <= 2.0
+    result.verdicts["steady_mean_within_50pct"] = 0.5 <= report.mean_ratio <= 1.5
+    if report.period_ratio is not None:
+        result.verdicts["period_within_50pct"] = 0.5 <= report.period_ratio <= 1.5
+
+    if render_plots:
+        result.plots.append(
+            line_plot(series["fluid_t"], series["fluid_q"] / 1e6,
+                      reference=params.q0 / 1e6,
+                      title="V2: fluid q(t) (Mbit)")
+        )
+        result.plots.append(
+            line_plot(series["packet_t"], series["packet_q"] / 1e6,
+                      reference=params.q0 / 1e6,
+                      title="V2: packet-level q(t) (Mbit)")
+        )
+    return result

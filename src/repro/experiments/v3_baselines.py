@@ -1,0 +1,132 @@
+"""V3 (extension) — BCN against the other 802.1Qau proposals.
+
+Places BCN next to QCN, E2CM, FERA and classic binary AIMD on the same
+dumbbell (Section II's landscape of proposals), measuring utilisation,
+queue behaviour, drops, fairness and control overhead, plus the linear
+analysis of [4] for contrast.  The expected qualitative ordering (all
+reproduced as verdicts):
+
+* explicit-rate FERA holds the smallest, calmest queue and perfect
+  fairness, at the price of a much higher control-message rate;
+* E2CM sits between BCN and FERA (it blends the two);
+* the queue-feedback schemes (BCN, QCN) keep utilisation near 1 but
+  hunt around the reference;
+* binary AIMD, with one bit of feedback, pays in utilisation and/or
+  queue swing;
+* the Lu et al. linear verdict calls *every* configuration stable —
+  including one whose buffer Theorem 1 (correctly) rejects.
+"""
+
+from __future__ import annotations
+
+from ..baselines import (
+    AIMDParams,
+    E2CMParams,
+    FERAParams,
+    QCNParams,
+    linear_verdict,
+    run_aimd_dumbbell,
+    run_bcn_dumbbell,
+    run_e2cm_dumbbell,
+    run_fera_dumbbell,
+    run_qcn_dumbbell,
+)
+from ..core.parameters import paper_example_params
+from ..core.stability import theorem1_criterion
+from .base import ExperimentResult, register
+
+__all__ = ["run"]
+
+
+@register("v3")
+def run(*, render_plots: bool = True, duration: float = 0.03) -> ExperimentResult:
+    bcn_params = paper_example_params()
+    c, n, q0, buf = (
+        bcn_params.capacity,
+        bcn_params.n_flows,
+        bcn_params.q0,
+        bcn_params.buffer_size,
+    )
+    settle = duration / 2
+
+    runs = {
+        "bcn": run_bcn_dumbbell(bcn_params, duration),
+        "qcn": run_qcn_dumbbell(
+            QCNParams(capacity=c, n_flows=n, q0=q0, buffer_bits=buf), duration
+        ),
+        "e2cm": run_e2cm_dumbbell(
+            E2CMParams(capacity=c, n_flows=n, q0=q0, buffer_bits=buf), duration
+        ),
+        "fera": run_fera_dumbbell(
+            FERAParams(capacity=c, n_flows=n, buffer_bits=buf, q0=q0), duration
+        ),
+        "aimd": run_aimd_dumbbell(
+            AIMDParams(capacity=c, n_flows=n, q0=q0, buffer_bits=buf), duration
+        ),
+    }
+
+    result = ExperimentResult(
+        experiment_id="v3",
+        title="BCN vs QCN vs E2CM vs FERA vs binary AIMD (dumbbell)",
+        table_headers=[
+            "scheme", "util", "q mean (Mbit)", "q std (Mbit)", "drops",
+            "fairness", "ctrl msgs",
+        ],
+    )
+    metrics = {}
+    for name, res in runs.items():
+        metrics[name] = {
+            "util": res.utilization(),
+            "q_mean": res.queue_mean(settle=settle),
+            "q_std": res.queue_std(settle=settle),
+            "drops": res.dropped_frames,
+            "fair": res.jain_fairness(),
+            "msgs": res.control_messages,
+        }
+        result.table_rows.append([
+            name,
+            metrics[name]["util"],
+            metrics[name]["q_mean"] / 1e6,
+            metrics[name]["q_std"] / 1e6,
+            metrics[name]["drops"],
+            metrics[name]["fair"],
+            metrics[name]["msgs"],
+        ])
+        result.series[f"{name}_t"] = res.t
+        result.series[f"{name}_q"] = res.queue
+
+    result.verdicts["all_schemes_functional"] = all(
+        m["util"] > 0.5 for m in metrics.values()
+    )
+    result.verdicts["fera_calmest_queue"] = (
+        metrics["fera"]["q_std"] <= min(m["q_std"] for m in metrics.values()) + 1e-9
+    )
+    result.verdicts["fera_most_fair"] = (
+        metrics["fera"]["fair"] >= max(m["fair"] for m in metrics.values()) - 1e-6
+    )
+    result.verdicts["fera_highest_overhead"] = (
+        metrics["fera"]["msgs"] >= metrics["bcn"]["msgs"]
+        and metrics["fera"]["msgs"] >= metrics["qcn"]["msgs"]
+    )
+    result.verdicts["bcn_high_utilization"] = metrics["bcn"]["util"] > 0.9
+    result.verdicts["e2cm_calmer_than_bcn"] = (
+        metrics["e2cm"]["q_std"] <= metrics["bcn"]["q_std"]
+    )
+    result.verdicts["aimd_not_better_everywhere"] = not (
+        metrics["aimd"]["util"] > metrics["bcn"]["util"]
+        and metrics["aimd"]["q_std"] < metrics["bcn"]["q_std"]
+    )
+
+    # The linear analysis of [4] cannot tell a good buffer from a bad one.
+    small_buffer = bcn_params.with_(buffer_size=5e6, q_sc=None)
+    result.verdicts["linear_verdict_buffer_blind"] = (
+        linear_verdict(bcn_params).stable
+        and linear_verdict(small_buffer).stable
+        and theorem1_criterion(bcn_params)
+        and not theorem1_criterion(small_buffer)
+    )
+    result.notes.append(
+        "linear analysis accepts the 5 Mbit buffer that Theorem 1 rejects "
+        "(needs 13.8 Mbit) — the paper's core argument, quantified."
+    )
+    return result

@@ -1,0 +1,34 @@
+"""Fluid-flow ODE substrate for the BCN model.
+
+Vector fields (:mod:`.model`) and the event-accurate piecewise
+integrator (:mod:`.integrate`) for the switched BCN fluid model in
+linearised, full-nonlinear and physically-constrained modes.
+"""
+
+from .delay import DelayedTrajectory, critical_delay, simulate_delayed
+from .integrate import FluidEvent, FluidTrajectory, simulate_fluid
+from .model import (
+    decrease_field,
+    full_field,
+    increase_field,
+    linearized_decrease_field,
+    linearized_increase_field,
+    pinned_empty_field,
+    pinned_full_field,
+)
+
+__all__ = [
+    "simulate_fluid",
+    "FluidTrajectory",
+    "FluidEvent",
+    "increase_field",
+    "decrease_field",
+    "linearized_increase_field",
+    "linearized_decrease_field",
+    "full_field",
+    "pinned_full_field",
+    "pinned_empty_field",
+    "simulate_delayed",
+    "DelayedTrajectory",
+    "critical_delay",
+]

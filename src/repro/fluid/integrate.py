@@ -1,0 +1,403 @@
+"""Piecewise numerical integration of the BCN fluid model.
+
+:func:`simulate_fluid` integrates the switched fluid model with
+`scipy.integrate.solve_ivp`, restarting at every switching-line crossing
+so the discontinuous right-hand side never degrades accuracy.  Three
+fidelity modes:
+
+``"linearized"``
+    Both regions linearised about the origin (eq. 9) — integrates the
+    exact same system the closed-form machinery solves; used to validate
+    :mod:`repro.core.trajectories` numerically.
+``"nonlinear"``
+    The paper's full model (eq. 8), unconstrained state.
+``"physical"``
+    The full model plus the physical buffer: the queue pins at ``B``
+    (arrivals dropped, ``sigma = q0 - B``) and at ``0`` (link idle,
+    ``sigma = q0``, the warm-up law).  This is the model against which
+    strong stability (Definition 1) is literally defined.
+
+Every run records switching events, local extrema of ``x`` (where
+``y = 0``), buffer hits, and the sampled trajectory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+from ..core.eigen import Region
+from ..core.parameters import BCNParams, NormalizedParams
+from .model import (
+    as_normalized,
+    decrease_field,
+    increase_field,
+    linearized_decrease_field,
+    pinned_empty_field,
+    pinned_full_field,
+)
+
+__all__ = ["FluidEvent", "FluidTrajectory", "simulate_fluid"]
+
+Mode = Literal["linearized", "nonlinear", "physical"]
+
+_CONVERGENCE_RTOL = 1e-5
+
+
+@dataclass(frozen=True)
+class FluidEvent:
+    """A recorded event along a fluid trajectory."""
+
+    time: float
+    kind: str  #: "switch" | "extremum" | "buffer_full" | "buffer_empty"
+    x: float
+    y: float
+
+
+@dataclass
+class FluidTrajectory:
+    """Result of a fluid-model integration.
+
+    Attributes
+    ----------
+    t, x, y:
+        Sampled trajectory (normalised coordinates).
+    events:
+        Chronological :class:`FluidEvent` list.
+    converged:
+        Whether the state entered the convergence ball before ``t_max``.
+    end_reason:
+        ``"converged"``, ``"time_limit"`` or ``"max_switches"``.
+    """
+
+    params: NormalizedParams
+    mode: Mode
+    t: np.ndarray
+    x: np.ndarray
+    y: np.ndarray
+    events: list[FluidEvent] = field(default_factory=list)
+    converged: bool = False
+    end_reason: str = "time_limit"
+
+    @property
+    def switch_times(self) -> list[float]:
+        return [e.time for e in self.events if e.kind == "switch"]
+
+    @property
+    def extrema(self) -> list[tuple[float, float]]:
+        """Local extrema of ``x``: event-accurate ``(t, x)`` pairs."""
+        return [(e.time, e.x) for e in self.events if e.kind == "extremum"]
+
+    def max_x(self) -> float:
+        candidates = [self.x.max()] if self.x.size else []
+        candidates += [e.x for e in self.events]
+        return max(candidates) if candidates else 0.0
+
+    def min_x(self) -> float:
+        candidates = [self.x.min()] if self.x.size else []
+        candidates += [e.x for e in self.events]
+        return min(candidates) if candidates else 0.0
+
+    def queue(self) -> np.ndarray:
+        """Queue length ``q(t) = q0 + x(t)`` in bits."""
+        return self.params.q0 + self.x
+
+    def aggregate_rate(self) -> np.ndarray:
+        """Aggregate source rate ``N r(t) = C + y(t)`` in bits/s."""
+        return self.params.capacity + self.y
+
+    def queue_peak(self) -> float:
+        return self.params.q0 + self.max_x()
+
+    def queue_trough(self) -> float:
+        return self.params.q0 + self.min_x()
+
+    def hit_buffer_full(self) -> bool:
+        return any(e.kind == "buffer_full" for e in self.events)
+
+    def hit_buffer_empty_after_start(self) -> bool:
+        """Queue re-emptied after first leaving empty (Definition 1)."""
+        left_empty = False
+        for e in self.events:
+            if e.kind == "buffer_empty":
+                if left_empty:
+                    return True
+            elif e.x > -self.params.q0 * (1.0 - 1e-9):
+                left_empty = True
+        # Also scan samples: the trajectory may start empty.
+        if self.x.size:
+            started_empty = self.x[0] <= -self.params.q0 * (1.0 - 1e-9)
+            above = self.x > -self.params.q0 * 0.999
+            if started_empty and above.any():
+                first_above = int(np.argmax(above))
+                return bool(
+                    (self.x[first_above:] <= -self.params.q0 * (1.0 - 1e-9)).any()
+                )
+            if not started_empty:
+                return bool((self.x <= -self.params.q0 * (1.0 - 1e-9)).any())
+        return False
+
+    def strongly_stable(self) -> bool:
+        """Definition 1 verdict on this (finite-horizon) trajectory."""
+        return (
+            self.converged
+            and not self.hit_buffer_full()
+            and not self.hit_buffer_empty_after_start()
+            and self.max_x() < self.params.buffer_size - self.params.q0
+        )
+
+
+def _region_of(p: NormalizedParams, x: float, y: float) -> Region:
+    s = x + p.k * y
+    if s < 0.0:
+        return Region.INCREASE
+    if s > 0.0:
+        return Region.DECREASE
+    return Region.DECREASE if y > 0.0 else Region.INCREASE
+
+
+def simulate_fluid(
+    params: NormalizedParams | BCNParams,
+    *,
+    x0: float | None = None,
+    y0: float = 0.0,
+    t_max: float = 10.0,
+    mode: Mode = "nonlinear",
+    max_switches: int = 500,
+    rtol: float = 1e-9,
+    atol: float | None = None,
+    max_step: float | None = None,
+    convergence_rtol: float = _CONVERGENCE_RTOL,
+) -> FluidTrajectory:
+    """Integrate the switched BCN fluid model.
+
+    Parameters
+    ----------
+    params:
+        Physical (:class:`BCNParams`) or normalised parameters.
+    x0, y0:
+        Initial normalised state; defaults to the canonical
+        post-warm-up point ``(-q0, 0)``.
+    t_max:
+        Time horizon in seconds.
+    mode:
+        Fidelity mode (see module docstring).
+    max_switches:
+        Cap on region switches (limit cycles never converge).
+    rtol, atol, max_step:
+        `solve_ivp` tolerances; ``atol`` defaults to scale with
+        ``(q0, C)``, ``max_step`` to a fraction of the fastest natural
+        period so events cannot be stepped over.
+    """
+    p = as_normalized(params)
+    if x0 is None:
+        x0 = -p.q0
+    if atol is None:
+        atol = min(p.q0, p.capacity) * 1e-12
+    if max_step is None:
+        # Fastest dynamics: |lambda| <= k*n for either region.
+        fastest = max(p.k * p.n_increase, p.k * p.n_decrease)
+        max_step = 0.05 / fastest if fastest > 0 else np.inf
+
+    inc = increase_field(p)
+    dec = linearized_decrease_field(p) if mode == "linearized" else decrease_field(p)
+    physical = mode == "physical"
+    x_full = p.buffer_size - p.q0
+    x_empty = -p.q0
+
+    def switching_event(t: float, s: np.ndarray) -> float:
+        return s[0] + p.k * s[1]
+
+    switching_event.terminal = True
+
+    def extremum_event(t: float, s: np.ndarray) -> float:
+        return s[1]
+
+    extremum_event.terminal = False
+
+    def full_event(t: float, s: np.ndarray) -> float:
+        return s[0] - x_full
+
+    full_event.terminal = physical
+    full_event.direction = 1.0
+
+    def empty_event(t: float, s: np.ndarray) -> float:
+        return s[0] - x_empty
+
+    empty_event.terminal = physical
+    empty_event.direction = -1.0
+
+    ts: list[np.ndarray] = []
+    xs: list[np.ndarray] = []
+    ys: list[np.ndarray] = []
+    events: list[FluidEvent] = []
+
+    t = 0.0
+    x, y = float(x0), float(y0)
+    converged = False
+    end_reason = "max_switches"
+    switches = 0
+
+    def record_samples(sol) -> None:
+        ts.append(sol.t)
+        xs.append(sol.y[0])
+        ys.append(sol.y[1])
+
+    def is_converged(xv: float, yv: float) -> bool:
+        return (
+            abs(xv) / p.q0 <= convergence_rtol
+            and abs(yv) / p.capacity <= convergence_rtol
+        )
+
+    # Handle a start pinned at the empty buffer (physical warm-up).
+    if physical and x <= x_empty and y < 0.0:
+        t = _integrate_pinned_empty(p, t, y, t_max, ts, xs, ys, events)
+        x, y = x_empty, 0.0
+
+    # After a crossing the state sits on the line up to solver tolerance;
+    # the flow direction (d(x+ky)/dt = y, exact on the line) picks the
+    # next region, and a tiny Euler nudge moves the state strictly inside
+    # it so the terminal event cannot re-fire at once.
+    region: Region | None = None
+
+    while t < t_max and switches <= max_switches:
+        if is_converged(x, y):
+            converged = True
+            end_reason = "converged"
+            break
+        if region is None:
+            region = _region_of(p, x, y)
+        fld = inc if region is Region.INCREASE else dec
+        dxdt, dydt = fld(t, np.array([x, y]))
+        speed = math.hypot(dxdt, dydt)
+        if speed > 0.0 and abs(x + p.k * y) < 1e-9 * (abs(x) + p.k * abs(y) + p.q0):
+            dt_nudge = 1e-9 * (abs(x) + p.k * abs(y) + p.q0) / speed
+            x += dxdt * dt_nudge
+            y += dydt * dt_nudge
+        sol = solve_ivp(
+            fld,
+            (t, t_max),
+            [x, y],
+            events=[switching_event, extremum_event, full_event, empty_event],
+            rtol=rtol,
+            atol=atol,
+            max_step=max_step,
+            dense_output=False,
+        )
+        record_samples(sol)
+        for te, se in zip(sol.t_events[1], sol.y_events[1]):
+            if te > t + 1e-15:
+                events.append(FluidEvent(float(te), "extremum", float(se[0]), float(se[1])))
+        for te, se in zip(sol.t_events[2], sol.y_events[2]):
+            events.append(FluidEvent(float(te), "buffer_full", float(se[0]), float(se[1])))
+        for te, se in zip(sol.t_events[3], sol.y_events[3]):
+            events.append(FluidEvent(float(te), "buffer_empty", float(se[0]), float(se[1])))
+
+        if sol.status == 1 and len(sol.t_events[0]) > 0 and (
+            not physical
+            or (len(sol.t_events[2]) == 0 and len(sol.t_events[3]) == 0)
+        ):
+            # Terminated at a switching-line crossing.
+            t = float(sol.t_events[0][-1])
+            x, y = (float(v) for v in sol.y_events[0][-1])
+            events.append(FluidEvent(t, "switch", x, y))
+            switches += 1
+            region = Region.DECREASE if y > 0.0 else Region.INCREASE
+            continue
+        if physical and sol.status == 1 and len(sol.t_events[2]) > 0:
+            # Queue pinned full: 1-D rate decay until y returns to 0.
+            t = float(sol.t_events[2][-1])
+            y = float(sol.y_events[2][-1][1])
+            t = _integrate_pinned_full(p, t, y, t_max, ts, xs, ys, events)
+            x, y = x_full, 0.0
+            region = None
+            continue
+        if physical and sol.status == 1 and len(sol.t_events[3]) > 0:
+            t = float(sol.t_events[3][-1])
+            y = float(sol.y_events[3][-1][1])
+            t = _integrate_pinned_empty(p, t, y, t_max, ts, xs, ys, events)
+            x, y = x_empty, 0.0
+            region = None
+            continue
+        # Reached t_max without further events.
+        t = float(sol.t[-1])
+        x, y = float(sol.y[0][-1]), float(sol.y[1][-1])
+        end_reason = "converged" if is_converged(x, y) else "time_limit"
+        converged = end_reason == "converged"
+        break
+    else:
+        if switches > max_switches:
+            end_reason = "max_switches"
+        elif t >= t_max:
+            end_reason = "time_limit"
+
+    t_arr = np.concatenate(ts) if ts else np.array([0.0])
+    x_arr = np.concatenate(xs) if xs else np.array([x0])
+    y_arr = np.concatenate(ys) if ys else np.array([y0])
+    events.sort(key=lambda e: e.time)
+    return FluidTrajectory(
+        params=p,
+        mode=mode,
+        t=t_arr,
+        x=x_arr,
+        y=y_arr,
+        events=events,
+        converged=converged,
+        end_reason=end_reason,
+    )
+
+
+def _integrate_pinned_full(
+    p: NormalizedParams,
+    t: float,
+    y: float,
+    t_max: float,
+    ts: list[np.ndarray],
+    xs: list[np.ndarray],
+    ys: list[np.ndarray],
+    events: list[FluidEvent],
+) -> float:
+    """Integrate the full-buffer pinned phase; returns the unpin time."""
+    x_full = p.buffer_size - p.q0
+    events.append(FluidEvent(t, "buffer_full", x_full, y))
+    fld = pinned_full_field(p)
+
+    def drain_event(tt: float, s: np.ndarray) -> float:
+        return s[0]
+
+    drain_event.terminal = True
+    drain_event.direction = -1.0
+
+    sol = solve_ivp(fld, (t, t_max), [y], events=[drain_event], rtol=1e-9,
+                    atol=p.capacity * 1e-12)
+    ts.append(sol.t)
+    xs.append(np.full_like(sol.t, x_full))
+    ys.append(sol.y[0])
+    return float(sol.t[-1])
+
+
+def _integrate_pinned_empty(
+    p: NormalizedParams,
+    t: float,
+    y: float,
+    t_max: float,
+    ts: list[np.ndarray],
+    xs: list[np.ndarray],
+    ys: list[np.ndarray],
+    events: list[FluidEvent],
+) -> float:
+    """Integrate the empty-buffer pinned phase (warm-up law)."""
+    x_empty = -p.q0
+    events.append(FluidEvent(t, "buffer_empty", x_empty, y))
+    # dy/dt = a q0 is exactly solvable: y reaches 0 after -y/(a q0).
+    duration = min(-y / (p.a * p.q0), t_max - t)
+    n = 32
+    t_lin = np.linspace(t, t + duration, n)
+    ts.append(t_lin)
+    xs.append(np.full(n, x_empty))
+    ys.append(y + p.a * p.q0 * (t_lin - t))
+    return t + duration

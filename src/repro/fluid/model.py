@@ -1,0 +1,161 @@
+"""Fluid-flow vector fields of the BCN congestion-control system.
+
+The paper's model (eqs. 4 and 7), in normalised coordinates
+``x = q - q0`` and ``y = N r - C`` with ``s = x + k y`` (so the feedback
+is ``sigma = -s``):
+
+.. math::
+
+    \\dot x = y, \\qquad
+    \\dot y = \\begin{cases}
+        -a\\,s & s < 0 \\text{ (rate increase, } \\sigma > 0) \\\\
+        -b\\,(y + C)\\,s & s > 0 \\text{ (rate decrease, } \\sigma < 0)
+    \\end{cases}
+
+Three field variants are provided:
+
+* :func:`increase_field` / :func:`decrease_field` — the per-region laws
+  (the increase law is linear; the decrease law carries the genuine
+  nonlinearity ``(y + C)``);
+* :func:`linearized_decrease_field` — the decrease law linearised about
+  the origin (eq. 9), used to cross-check the closed-form machinery;
+* the pinned fields :func:`pinned_full_field` /
+  :func:`pinned_empty_field` — the *physical* dynamics while the queue
+  saturates at ``B`` (arrivals dropped, switch observes ``dq/dt = 0`` so
+  ``sigma = q0 - B``) or at ``0`` (link underutilised, switch feeds back
+  ``sigma = q0``, which is exactly the paper's warm-up law).
+
+All fields take ``(t, state)`` in `scipy.integrate.solve_ivp` convention;
+``state = (x, y)`` for planar fields and ``state = (y,)`` for pinned ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core.parameters import BCNParams, NormalizedParams
+
+__all__ = [
+    "as_normalized",
+    "increase_field",
+    "decrease_field",
+    "linearized_increase_field",
+    "linearized_decrease_field",
+    "full_field",
+    "pinned_full_field",
+    "pinned_empty_field",
+]
+
+PlanarField = Callable[[float, np.ndarray], list[float]]
+
+
+def as_normalized(params: NormalizedParams | BCNParams) -> NormalizedParams:
+    """Accept physical or normalised parameters, return normalised."""
+    return params.normalized() if isinstance(params, BCNParams) else params
+
+
+def increase_field(params: NormalizedParams | BCNParams) -> PlanarField:
+    """Additive-increase law ``(x', y') = (y, -a (x + k y))``."""
+    p = as_normalized(params)
+    a, k = p.a, p.k
+
+    def field(t: float, state: np.ndarray) -> list[float]:
+        x, y = state
+        return [y, -a * (x + k * y)]
+
+    return field
+
+
+def decrease_field(params: NormalizedParams | BCNParams) -> PlanarField:
+    """Multiplicative-decrease law ``(x', y') = (y, -b (y + C)(x + k y))``.
+
+    This is the full nonlinear law of eq. (8); the factor ``y + C``
+    (the aggregate rate) makes the decrease strength amplitude-dependent,
+    which is what permits genuine isolated limit cycles.
+    """
+    p = as_normalized(params)
+    b, c, k = p.b, p.capacity, p.k
+
+    def field(t: float, state: np.ndarray) -> list[float]:
+        x, y = state
+        return [y, -b * (y + c) * (x + k * y)]
+
+    return field
+
+
+def linearized_increase_field(params: NormalizedParams | BCNParams) -> PlanarField:
+    """The increase law is already linear; provided for symmetry."""
+    return increase_field(params)
+
+
+def linearized_decrease_field(params: NormalizedParams | BCNParams) -> PlanarField:
+    """Decrease law linearised about the origin (eq. 9):
+    ``(x', y') = (y, -b C x - b k C y)``."""
+    p = as_normalized(params)
+    bc, bkc = p.b * p.capacity, p.b * p.k * p.capacity
+
+    def field(t: float, state: np.ndarray) -> list[float]:
+        x, y = state
+        return [y, -bc * x - bkc * y]
+
+    return field
+
+
+def full_field(
+    params: NormalizedParams | BCNParams, *, linearized: bool = False
+) -> PlanarField:
+    """The complete switched field, selecting the law by ``sign(x + k y)``.
+
+    Useful for one-shot integration; the piecewise integrator in
+    :mod:`repro.fluid.integrate` is preferred for accuracy because it
+    stops exactly at switching events.
+    """
+    p = as_normalized(params)
+    inc = increase_field(p)
+    dec = linearized_decrease_field(p) if linearized else decrease_field(p)
+    k = p.k
+
+    def field(t: float, state: np.ndarray) -> list[float]:
+        x, y = state
+        if x + k * y < 0.0:
+            return inc(t, state)
+        return dec(t, state)
+
+    return field
+
+
+def pinned_full_field(params: NormalizedParams | BCNParams) -> Callable[[float, np.ndarray], list[float]]:
+    """Rate dynamics while the queue is pinned at the buffer limit.
+
+    With ``q = B`` and arrivals dropped, the switch observes
+    ``dq/dt = 0``, so ``sigma = q0 - B = -x_B`` with ``x_B = B - q0 > 0``
+    (negative feedback) and the decrease law gives
+    ``dy/dt = -b (y + C) x_B``.
+    """
+    p = as_normalized(params)
+    b, c = p.b, p.capacity
+    x_b = p.buffer_size - p.q0
+
+    def field(t: float, state: np.ndarray) -> list[float]:
+        (y,) = state
+        return [-b * (y + c) * x_b]
+
+    return field
+
+
+def pinned_empty_field(params: NormalizedParams | BCNParams) -> Callable[[float, np.ndarray], list[float]]:
+    """Rate dynamics while the queue is pinned empty.
+
+    With ``q = 0`` the switch observes ``sigma = q0`` (positive
+    feedback), so the increase law gives ``dy/dt = a q0`` — exactly the
+    warm-up law of Section IV.C (``T0 = (C - N mu)/(a q0)``).
+    """
+    p = as_normalized(params)
+    rate = p.a * p.q0
+
+    def field(t: float, state: np.ndarray) -> list[float]:
+        return [rate]
+
+    return field

@@ -1,0 +1,146 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event-driven kernel: events are ``(time, seq,
+callback)`` triples in a binary heap; ties in time break by insertion
+order (``seq``), which keeps runs reproducible.  Components schedule
+callbacks with :meth:`Simulator.schedule` (relative delay) or
+:meth:`Simulator.schedule_at` (absolute time) and may cancel them via the
+returned handle.
+
+The kernel knows nothing about networking; switches, sources and links
+(:mod:`repro.simulation`) are plain objects holding a reference to the
+simulator.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "Simulator"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; orderable by ``(time, seq)``."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.5]
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the heap (including cancelled)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0 or not math.isfinite(delay):
+            raise ValueError(f"delay must be finite and non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        event = Event(time, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        until: float = math.inf,
+    ) -> None:
+        """Run ``callback`` every ``interval`` seconds until ``until``."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+
+        def tick() -> None:
+            callback()
+            next_time = self._now + interval
+            if next_time <= until:
+                self.schedule_at(next_time, tick)
+
+        self.schedule(interval, tick)
+
+    def run(self, until: float = math.inf, *, max_events: int | None = None) -> None:
+        """Process events in order until the horizon or heap exhaustion.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would occur after this time; the
+            clock is advanced to ``until`` if any later events remain.
+        max_events:
+            Safety cap on callbacks executed in this call.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                break
+            event = self._heap[0]
+            if event.time > until:
+                self._now = until
+                return
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            executed += 1
+        if math.isfinite(until):
+            self._now = max(self._now, until)
+
+    def reset(self) -> None:
+        """Clear all pending events and rewind the clock to zero."""
+        self._heap.clear()
+        self._now = 0.0
+        self._processed = 0
+
+
+def noop() -> None:  # pragma: no cover - convenience for tests
+    """A callback that does nothing."""

@@ -1,0 +1,81 @@
+"""Drop-tail FIFO queue measured in bits.
+
+The core switch buffers frames in a single drop-tail FIFO whose
+occupancy is measured in bits (the fluid model's ``q(t)``).  The queue
+records cumulative enqueue/dequeue/drop counters so conservation
+(``enqueued == dequeued + dropped + resident``) can be asserted by the
+tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from .frames import EthernetFrame
+
+__all__ = ["DropTailQueue"]
+
+
+@dataclass
+class DropTailQueue:
+    """A byte(bit)-bounded FIFO with drop-tail admission.
+
+    Parameters
+    ----------
+    capacity_bits:
+        Buffer size ``B``; a frame that would push occupancy beyond it
+        is dropped in its entirety.
+    """
+
+    capacity_bits: float
+    _frames: deque[EthernetFrame] = field(default_factory=deque)
+    occupancy_bits: float = 0.0
+    enqueued_frames: int = 0
+    dequeued_frames: int = 0
+    dropped_frames: int = 0
+    enqueued_bits: float = 0.0
+    dequeued_bits: float = 0.0
+    dropped_bits: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bits <= 0:
+            raise ValueError("capacity_bits must be positive")
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._frames
+
+    def offer(self, frame: EthernetFrame) -> bool:
+        """Enqueue ``frame``; returns False (and drops) when full."""
+        if self.occupancy_bits + frame.size_bits > self.capacity_bits:
+            self.dropped_frames += 1
+            self.dropped_bits += frame.size_bits
+            return False
+        self._frames.append(frame)
+        self.occupancy_bits += frame.size_bits
+        self.enqueued_frames += 1
+        self.enqueued_bits += frame.size_bits
+        return True
+
+    def poll(self) -> EthernetFrame | None:
+        """Dequeue the head frame, or None when empty."""
+        if not self._frames:
+            return None
+        frame = self._frames.popleft()
+        self.occupancy_bits -= frame.size_bits
+        if self.occupancy_bits < 0:  # pragma: no cover - defensive
+            self.occupancy_bits = 0.0
+        self.dequeued_frames += 1
+        self.dequeued_bits += frame.size_bits
+        return frame
+
+    def conservation_holds(self) -> bool:
+        """Frames in == frames out + dropped + resident."""
+        return self.enqueued_frames == self.dequeued_frames + len(self._frames) and (
+            self.enqueued_frames + self.dropped_frames
+            == self.dequeued_frames + self.dropped_frames + len(self._frames)
+        )

@@ -1,0 +1,276 @@
+"""The BCN-aware core switch (congestion point).
+
+Implements the congestion-point side of the BCN mechanism (Section
+II.B):
+
+* a drop-tail FIFO serviced at line rate ``C``;
+* **deterministic sampling**: every ``round(1/pm)``-th arriving frame is
+  sampled; at a sample the switch computes the queue variation
+  ``dq`` since the previous sample (by counting arrivals and departures,
+  as the draft prescribes) and the congestion measure
+  ``sigma = (q0 - q) - w * dq`` (eq. 1);
+* **negative BCN** to the sampled frame's source when ``sigma < 0``;
+* **positive BCN** only when ``sigma > 0``, the queue is below ``q0``
+  *and* the sampled frame carries an RRT whose CPID matches this switch
+  (i.e. the source is associated with this congestion point);
+* **802.3x PAUSE** to all upstream neighbours when the instantaneous
+  queue exceeds the severe-congestion threshold ``q_sc``.
+
+BCN messages travel on dedicated backward links registered per source
+address.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .engine import Simulator
+from .frames import BCNMessage, EthernetFrame, PauseFrame
+from .link import Link
+from .queueing import DropTailQueue
+
+__all__ = ["CoreSwitch", "SwitchStats"]
+
+
+@dataclass
+class SwitchStats:
+    """Counters the switch maintains for the experiment harness."""
+
+    samples: int = 0
+    bcn_negative: int = 0
+    bcn_positive: int = 0
+    pauses_sent: int = 0
+    forwarded_frames: int = 0
+    forwarded_bits: float = 0.0
+
+
+class CoreSwitch:
+    """A single congestion point with a BCN control plane.
+
+    Parameters
+    ----------
+    sim:
+        Event engine.
+    cpid:
+        Congestion-point identifier (stands in for the interface MAC).
+    capacity:
+        Service rate ``C`` in bits/s.
+    q0:
+        Reference queue length in bits.
+    buffer_bits:
+        Physical buffer ``B`` in bits (drop-tail beyond it).
+    w:
+        Weight of the queue-derivative term in ``sigma``.
+    pm:
+        Sampling probability; realised deterministically as one sample
+        every ``round(1/pm)`` arrivals.
+    q_sc:
+        Severe-congestion threshold for PAUSE; None disables PAUSE.
+    pause_duration:
+        Silence interval requested by each PAUSE frame.
+    forward:
+        Callback receiving each serviced frame (the downstream link).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        cpid: str,
+        capacity: float,
+        q0: float,
+        buffer_bits: float,
+        w: float = 2.0,
+        pm: float = 0.01,
+        q_sc: float | None = None,
+        pause_duration: float = 50e-6,
+        forward: Callable[[EthernetFrame], None] | None = None,
+        require_association: bool = True,
+        positive_only_below_q0: bool = True,
+        fb_bits: int | None = 6,
+        sigma_unit: float | None = None,
+        random_sampling: bool = False,
+        sampling_seed: int = 0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 < pm <= 1:
+            raise ValueError("pm must lie in (0, 1]")
+        self.sim = sim
+        self.cpid = cpid
+        self.capacity = capacity
+        self.q0 = q0
+        self.w = w
+        self.pm = pm
+        self.q_sc = q_sc
+        self.pause_duration = pause_duration
+        self.queue = DropTailQueue(buffer_bits)
+        self.forward = forward or (lambda frame: None)
+        self.stats = SwitchStats()
+        #: Per the draft, positive BCN goes only to sources associated
+        #: with this congestion point (RRT match).  The paper's fluid
+        #: model idealises this to unconditional positive feedback; set
+        #: False to match it (used by fluid-vs-packet validation).
+        self.require_association = require_association
+        #: The draft also gates positive BCN on the queue having drained
+        #: below q0; the fluid model applies the increase law whenever
+        #: sigma > 0.  Set False for the model's idealisation.
+        self.positive_only_below_q0 = positive_only_below_q0
+        #: FB quantization: the wire FB field is
+        #: ``clamp(round(sigma / sigma_unit), -2**(fb_bits-1),
+        #: 2**(fb_bits-1) - 1)``.  ``fb_bits=None`` carries raw sigma.
+        #: ``sigma_unit`` defaults to ``q0 / 2**(fb_bits-2)`` so that a
+        #: completely full reference queue maps to a quarter of full
+        #: scale (the draft's equilibrium-centred scaling).
+        self.fb_bits = fb_bits
+        if fb_bits is not None and sigma_unit is None:
+            sigma_unit = q0 / float(2 ** (fb_bits - 2))
+        self.sigma_unit = sigma_unit
+
+        self._sample_interval = max(1, round(1.0 / pm))
+        self._arrivals_since_sample = 0
+        #: The draft samples deterministically (every 1/pm-th frame),
+        #: which aliases badly against synchronized homogeneous sources:
+        #: the same flow can be picked every round.  Bernoulli sampling
+        #: (seeded, reproducible) restores the fluid model's uniform
+        #: per-flow feedback and is used by the validation experiments.
+        self._rng = random.Random(sampling_seed) if random_sampling else None
+        self._q_at_last_sample = 0.0
+        self._busy = False
+        self._pause_armed = True
+        self._service_paused_until = 0.0
+        self._bcn_links: dict[int, Link] = {}
+        self._pause_links: list[Link] = []
+        #: history rows ``(t, sigma)`` of every computed congestion measure
+        self.sigma_history: list[tuple[float, float]] = []
+
+    # -- wiring ---------------------------------------------------------
+
+    def register_bcn_link(self, source_address: int, link: Link) -> None:
+        """Register the backward control link towards a source."""
+        self._bcn_links[source_address] = link
+
+    def register_pause_link(self, link: Link) -> None:
+        """Register an upstream neighbour to receive PAUSE frames."""
+        self._pause_links.append(link)
+
+    # -- data plane -----------------------------------------------------
+
+    @property
+    def queue_bits(self) -> float:
+        """Instantaneous queue length ``q(t)`` in bits."""
+        return self.queue.occupancy_bits
+
+    def receive(self, frame: EthernetFrame) -> None:
+        """Ingest a data frame: sample, enqueue (or drop), serve."""
+        if self._rng is not None:
+            sampled = self._rng.random() < self.pm
+        else:
+            self._arrivals_since_sample += 1
+            sampled = self._arrivals_since_sample >= self._sample_interval
+            if sampled:
+                self._arrivals_since_sample = 0
+
+        accepted = self.queue.offer(frame)
+
+        if sampled:
+            self._process_sample(frame)
+
+        if self.q_sc is not None and self.queue_bits > self.q_sc:
+            self._maybe_pause()
+
+        if accepted and not self._busy:
+            self._start_service()
+
+    def _process_sample(self, frame: EthernetFrame) -> None:
+        """Compute sigma for a sampled frame and emit BCN if warranted."""
+        self.stats.samples += 1
+        q = self.queue_bits
+        dq = q - self._q_at_last_sample
+        self._q_at_last_sample = q
+        sigma = (self.q0 - q) - self.w * dq
+        self.sigma_history.append((self.sim.now, sigma))
+
+        if sigma < 0:
+            self._send_bcn(frame.src, sigma, q, dq)
+            self.stats.bcn_negative += 1
+        elif sigma > 0 and (q < self.q0 or not self.positive_only_below_q0) and (
+            not self.require_association or frame.rrt_cpid == self.cpid
+        ):
+            self._send_bcn(frame.src, sigma, q, dq)
+            self.stats.bcn_positive += 1
+
+    def quantize_fb(self, sigma: float) -> float:
+        """Map raw sigma (bits) to the wire FB value."""
+        if self.fb_bits is None or self.sigma_unit is None:
+            return sigma
+        full_scale = 2 ** (self.fb_bits - 1)
+        quantum = round(sigma / self.sigma_unit)
+        return float(max(-full_scale, min(full_scale - 1, quantum)))
+
+    def _send_bcn(self, src: int, sigma: float, q: float, dq: float) -> None:
+        link = self._bcn_links.get(src)
+        if link is None:
+            return
+        link.transmit(
+            BCNMessage(
+                da=src,
+                sa=self.cpid,
+                cpid=self.cpid,
+                fb=self.quantize_fb(sigma),
+                q_off=self.q0 - q,
+                q_delta=dq,
+                fb_raw=sigma,
+                sent_at=self.sim.now,
+            )
+        )
+
+    def _maybe_pause(self) -> None:
+        """Send one PAUSE per excursion above ``q_sc`` (re-armed after)."""
+        if not self._pause_armed:
+            return
+        self._pause_armed = False
+        frame = PauseFrame(sa=self.cpid, duration=self.pause_duration,
+                           sent_at=self.sim.now)
+        for link in self._pause_links:
+            link.transmit(frame)
+        self.stats.pauses_sent += len(self._pause_links)
+        self.sim.schedule(self.pause_duration, self._rearm_pause)
+
+    def _rearm_pause(self) -> None:
+        self._pause_armed = True
+
+    def receive_pause(self, frame: PauseFrame) -> None:
+        """Honour an 802.3x PAUSE from downstream: stop serving.
+
+        This is the hop-by-hop flow control whose head-of-line blocking
+        the paper's Section I criticises: while paused, *every* frame
+        behind this port waits, congestion rolls back upstream, and
+        flows innocent of the original congestion stall with it.
+        """
+        self._service_paused_until = max(
+            self._service_paused_until, self.sim.now + frame.duration
+        )
+
+    def _start_service(self) -> None:
+        if self.sim.now < self._service_paused_until:
+            self._busy = True
+            self.sim.schedule_at(self._service_paused_until,
+                                 self._start_service)
+            return
+        frame = self.queue.poll()
+        if frame is None:
+            self._busy = False
+            return
+        self._busy = True
+        service_time = frame.size_bits / self.capacity
+
+        def done() -> None:
+            self.stats.forwarded_frames += 1
+            self.stats.forwarded_bits += frame.size_bits
+            self.forward(frame)
+            self._start_service()
+
+        self.sim.schedule(service_time, done)

@@ -1,0 +1,134 @@
+"""Event tracing for DES debugging and post-hoc analysis.
+
+A :class:`FrameTracer` hooks into switch forward paths and control
+links, recording typed events (arrival, departure, drop, bcn, pause)
+into an in-memory log that can be filtered, summarised, or written out
+as a text trace — the pcap stand-in for this simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from .frames import BCNMessage, EthernetFrame, PauseFrame
+from .switch import CoreSwitch
+
+__all__ = ["TraceEvent", "FrameTracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    kind: str  #: "arrive" | "depart" | "drop" | "bcn" | "pause"
+    node: str
+    flow_id: int | None = None
+    detail: str = ""
+
+    def format(self) -> str:
+        flow = f" flow={self.flow_id}" if self.flow_id is not None else ""
+        detail = f" {self.detail}" if self.detail else ""
+        return f"{self.time:.9f} {self.kind:<7} {self.node}{flow}{detail}"
+
+
+@dataclass
+class FrameTracer:
+    """Collects :class:`TraceEvent` records from instrumented components."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    max_events: int | None = None
+
+    def record(self, event: TraceEvent) -> None:
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            return
+        self.events.append(event)
+
+    # -- instrumentation ----------------------------------------------------
+
+    def attach_switch(self, switch: CoreSwitch, *, name: str | None = None) -> None:
+        """Wrap a switch's data path to trace arrivals/departures/drops."""
+        label = name if name is not None else switch.cpid
+        original_receive = switch.receive
+        original_forward = switch.forward
+
+        def traced_receive(frame: EthernetFrame) -> None:
+            drops_before = switch.queue.dropped_frames
+            original_receive(frame)
+            if switch.queue.dropped_frames > drops_before:
+                self.record(TraceEvent(switch.sim.now, "drop", label,
+                                       frame.flow_id,
+                                       f"size={frame.size_bits}"))
+            else:
+                self.record(TraceEvent(switch.sim.now, "arrive", label,
+                                       frame.flow_id,
+                                       f"q={switch.queue_bits:.0f}"))
+
+        def traced_forward(frame: EthernetFrame) -> None:
+            self.record(TraceEvent(switch.sim.now, "depart", label,
+                                   frame.flow_id))
+            original_forward(frame)
+
+        switch.receive = traced_receive  # type: ignore[method-assign]
+        switch.forward = traced_forward
+
+    def control_hook(self, node: str):
+        """A pass-through callback wrapper for control links.
+
+        Use as ``Link(sim, delay, tracer.control_hook("h0")(handler))``.
+        """
+
+        def wrap(handler):
+            def traced(message):
+                if isinstance(message, BCNMessage):
+                    self.record(TraceEvent(message.sent_at, "bcn", node,
+                                           message.da,
+                                           f"fb={message.fb:+g}"))
+                elif isinstance(message, PauseFrame):
+                    self.record(TraceEvent(message.sent_at, "pause", node,
+                                           None,
+                                           f"dur={message.duration:g}"))
+                handler(message)
+
+            return traced
+
+        return wrap
+
+    # -- querying -----------------------------------------------------------
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def for_flow(self, flow_id: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.flow_id == flow_id]
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def between(self, t0: float, t1: float) -> list[TraceEvent]:
+        return [e for e in self.events if t0 <= e.time < t1]
+
+    # -- output -------------------------------------------------------------
+
+    def dump(self, path: str | Path) -> Path:
+        """Write the trace as one event per line."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as fh:
+            for event in self.events:
+                fh.write(event.format() + "\n")
+        return path
+
+    def summary(self) -> str:
+        counts = self.counts()
+        parts = [f"{kind}={counts[kind]}" for kind in sorted(counts)]
+        span = ""
+        if self.events:
+            span = (f" over [{self.events[0].time:.6f}, "
+                    f"{self.events[-1].time:.6f}]s")
+        return f"{len(self.events)} events ({', '.join(parts)}){span}"

@@ -1,0 +1,129 @@
+"""Wire format of the BCN message (Fig. 2 of the paper).
+
+The BCN message follows the 802.1Q VLAN-tag format so BCN-aware and
+BCN-unaware switches coexist.  Fig. 2 gives the layout (bit offsets of
+field boundaries: 0, 47, 95, 111, 127, 143, 175, 207):
+
+======  ==========  ====================================================
+bits    field       content
+======  ==========  ====================================================
+0-47    DA          destination address = source of the sampled frame
+48-95   SA          source address = the switch interface
+96-111  EtherType   marks the frame as a BCN message
+112-127 (tag ctrl)  802.1Q tag control / reserved
+128-143 version     reserved / version word
+144-175 CPID        congestion point identifier (switch interface MAC
+                    plus port qualifier; 32 bits on the wire here)
+176-207 FB          the feedback measure sigma, as a signed fixed-point
+                    quantity in units of the switch's sigma quantum
+======  ==========  ====================================================
+
+This module packs and unpacks :class:`~repro.simulation.frames.BCNMessage`
+to/from this 26-byte layout, exercising the part of the mechanism the
+analytical model abstracts away: the feedback really does fit in a
+minimum-size Ethernet frame, and quantization on the wire is lossy in
+exactly the way the FB-width experiments assume.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .frames import BCN_ETHERTYPE, BCNMessage
+
+__all__ = ["WireBCN", "pack_bcn", "unpack_bcn", "WIRE_LENGTH_BYTES"]
+
+#: Total length of the Fig. 2 layout in bytes (208 bits).
+WIRE_LENGTH_BYTES = 26
+
+_STRUCT = struct.Struct(">6s6sHHHIi")  # DA SA EtherType TCI VER CPID FB
+assert _STRUCT.size == WIRE_LENGTH_BYTES
+
+#: 802.1Q tag control word carried in the reserved field.
+_DEFAULT_TCI = 0x0000
+_VERSION = 0x0001
+
+#: FB is signed 32-bit on the wire; the quantum scales raw sigma (bits)
+#: into wire units.
+FB_MIN, FB_MAX = -(2**31), 2**31 - 1
+
+
+def _address_to_bytes(address: int) -> bytes:
+    if not 0 <= address < 2**48:
+        raise ValueError(f"address must fit in 48 bits, got {address}")
+    return address.to_bytes(6, "big")
+
+
+def _cpid_to_int(cpid: str) -> int:
+    """Fold an arbitrary CPID string into the 32-bit wire field."""
+    value = 0
+    for byte in cpid.encode():
+        value = ((value * 131) + byte) % (2**32)
+    return value
+
+
+@dataclass(frozen=True)
+class WireBCN:
+    """A decoded Fig. 2 frame."""
+
+    da: int
+    sa: int
+    ethertype: int
+    tci: int
+    version: int
+    cpid: int
+    fb_quanta: int
+
+    @property
+    def is_bcn(self) -> bool:
+        return self.ethertype == BCN_ETHERTYPE
+
+    @property
+    def positive(self) -> bool:
+        return self.fb_quanta > 0
+
+
+def pack_bcn(
+    message: BCNMessage,
+    *,
+    switch_address: int = 0x0000_5E00_0001,
+    sigma_quantum: float = 1.0,
+) -> bytes:
+    """Serialise a BCN message into the Fig. 2 layout.
+
+    ``sigma_quantum`` converts the model's sigma (bits) into wire FB
+    units; values beyond the signed-32-bit range saturate, mirroring the
+    switch-side clamping.
+    """
+    if sigma_quantum <= 0:
+        raise ValueError("sigma_quantum must be positive")
+    fb = round(message.fb / sigma_quantum)
+    fb = max(FB_MIN, min(FB_MAX, fb))
+    return _STRUCT.pack(
+        _address_to_bytes(message.da),
+        _address_to_bytes(switch_address),
+        BCN_ETHERTYPE,
+        _DEFAULT_TCI,
+        _VERSION,
+        _cpid_to_int(message.cpid),
+        fb,
+    )
+
+
+def unpack_bcn(payload: bytes) -> WireBCN:
+    """Decode a Fig. 2 frame; raises ValueError on a malformed one."""
+    if len(payload) != WIRE_LENGTH_BYTES:
+        raise ValueError(
+            f"BCN frame must be {WIRE_LENGTH_BYTES} bytes, got {len(payload)}"
+        )
+    da, sa, ethertype, tci, version, cpid, fb = _STRUCT.unpack(payload)
+    return WireBCN(
+        da=int.from_bytes(da, "big"),
+        sa=int.from_bytes(sa, "big"),
+        ethertype=ethertype,
+        tci=tci,
+        version=version,
+        cpid=cpid,
+        fb_quanta=fb,
+    )

@@ -1,0 +1,180 @@
+"""Data-center topology constructors.
+
+The paper motivates its homogeneous-sources assumption with the regular,
+symmetric fabrics deployed in data centers — Monsoon, Fat-Tree and
+DCell — and the parallel read/write traffic of cluster file systems.
+This module builds those fabrics as :mod:`networkx` graphs with a
+uniform node attribute scheme:
+
+* ``kind``: ``"host"`` | ``"edge"`` | ``"agg"`` | ``"core"`` | ``"tor"``
+* ``layer``: integer tier (hosts are 0)
+
+and edge attribute ``capacity`` (bits/s).  The graphs feed the routing
+helpers in :mod:`repro.topology.routing` and the multi-hop simulator.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+
+__all__ = [
+    "dumbbell",
+    "fat_tree",
+    "dcell",
+    "monsoon",
+    "hosts",
+    "switches",
+]
+
+
+def hosts(graph: nx.Graph) -> list[str]:
+    """All host nodes of a topology, in deterministic order."""
+    return sorted(n for n, d in graph.nodes(data=True) if d.get("kind") == "host")
+
+
+def switches(graph: nx.Graph) -> list[str]:
+    """All switch nodes of a topology, in deterministic order."""
+    return sorted(n for n, d in graph.nodes(data=True) if d.get("kind") != "host")
+
+
+def dumbbell(
+    n_sources: int,
+    *,
+    capacity: float = 10e9,
+    edge_capacity: float | None = None,
+) -> nx.Graph:
+    """The paper's single-bottleneck scenario (Fig. 1) as a graph.
+
+    ``n_sources`` hosts connect through an edge switch to a core switch
+    whose downlink to the sink is the bottleneck at ``capacity``.
+    Host-edge links default to the bottleneck capacity (so sources can
+    individually saturate it, as in the analysis).
+    """
+    if n_sources < 1:
+        raise ValueError("need at least one source")
+    g = nx.Graph(name=f"dumbbell-{n_sources}")
+    edge_cap = capacity if edge_capacity is None else edge_capacity
+    g.add_node("edge0", kind="edge", layer=1)
+    g.add_node("core0", kind="core", layer=2)
+    g.add_node("sink", kind="host", layer=0)
+    g.add_edge("edge0", "core0", capacity=edge_cap * max(1, n_sources))
+    g.add_edge("core0", "sink", capacity=capacity)
+    for i in range(n_sources):
+        h = f"h{i}"
+        g.add_node(h, kind="host", layer=0)
+        g.add_edge(h, "edge0", capacity=edge_cap)
+    return g
+
+
+def fat_tree(k: int, *, capacity: float = 10e9) -> nx.Graph:
+    """A k-ary fat-tree (Al-Fares et al., SIGCOMM 2008).
+
+    ``k`` must be even.  The fabric has ``k`` pods, each with ``k/2``
+    edge and ``k/2`` aggregation switches, ``(k/2)^2`` core switches and
+    ``k^3/4`` hosts; every link carries ``capacity``.
+    """
+    if k < 2 or k % 2:
+        raise ValueError("fat-tree arity k must be even and >= 2")
+    g = nx.Graph(name=f"fat-tree-{k}")
+    half = k // 2
+    for c in range(half * half):
+        g.add_node(f"core{c}", kind="core", layer=3)
+    for pod in range(k):
+        for a in range(half):
+            agg = f"p{pod}a{a}"
+            g.add_node(agg, kind="agg", layer=2)
+            # aggregation a connects to core group a
+            for c in range(half):
+                g.add_edge(agg, f"core{a * half + c}", capacity=capacity)
+        for e in range(half):
+            edge = f"p{pod}e{e}"
+            g.add_node(edge, kind="edge", layer=1)
+            for a in range(half):
+                g.add_edge(edge, f"p{pod}a{a}", capacity=capacity)
+            for h in range(half):
+                host = f"p{pod}e{e}h{h}"
+                g.add_node(host, kind="host", layer=0)
+                g.add_edge(host, edge, capacity=capacity)
+    return g
+
+
+def dcell(n: int, level: int = 1, *, capacity: float = 10e9) -> nx.Graph:
+    """DCell_k with ``n`` servers per DCell_0 (Guo et al., SIGCOMM 2008).
+
+    DCell_0 is ``n`` hosts on a mini-switch; DCell_k connects
+    ``t_{k-1} + 1`` copies of DCell_{k-1} with one host-to-host link per
+    pair of cells.  Only ``level`` in {0, 1, 2} is supported (level 2 is
+    already thousands of hosts).
+    """
+    if n < 2:
+        raise ValueError("DCell_0 needs at least 2 servers")
+    if level not in (0, 1, 2):
+        raise ValueError("only DCell levels 0-2 are supported")
+
+    def build_dcell0(g: nx.Graph, prefix: str) -> list[str]:
+        sw = f"{prefix}s"
+        g.add_node(sw, kind="tor", layer=1)
+        cell_hosts = []
+        for i in range(n):
+            h = f"{prefix}h{i}"
+            g.add_node(h, kind="host", layer=0)
+            g.add_edge(h, sw, capacity=capacity)
+            cell_hosts.append(h)
+        return cell_hosts
+
+    def build(g: nx.Graph, prefix: str, lvl: int) -> list[str]:
+        if lvl == 0:
+            return build_dcell0(g, prefix)
+        sub_hosts = []
+        t_prev = n if lvl == 1 else n * (n + 1)
+        n_cells = t_prev + 1
+        for c in range(n_cells):
+            sub_hosts.append(build(g, f"{prefix}c{c}.", lvl - 1))
+        # full mesh between cells: one link per unordered cell pair,
+        # using each cell's next unused host port
+        port = [0] * n_cells
+        for i, j in itertools.combinations(range(n_cells), 2):
+            if port[i] < len(sub_hosts[i]) and port[j] < len(sub_hosts[j]):
+                g.add_edge(
+                    sub_hosts[i][port[i]], sub_hosts[j][port[j]], capacity=capacity
+                )
+                port[i] += 1
+                port[j] += 1
+        return [h for cell in sub_hosts for h in cell]
+
+    g = nx.Graph(name=f"dcell-{n}-{level}")
+    build(g, "", level)
+    return g
+
+
+def monsoon(
+    n_tors: int,
+    n_aggs: int = 2,
+    n_hosts_per_tor: int = 4,
+    *,
+    capacity: float = 10e9,
+    uplink_capacity: float | None = None,
+) -> nx.Graph:
+    """A Monsoon/VL2-style folded Clos: ToRs dual-homed to aggregations.
+
+    Every ToR connects to every aggregation switch (a complete bipartite
+    core), with hosts fanned out below the ToRs.
+    """
+    if n_tors < 1 or n_aggs < 1 or n_hosts_per_tor < 1:
+        raise ValueError("all counts must be positive")
+    up_cap = capacity if uplink_capacity is None else uplink_capacity
+    g = nx.Graph(name=f"monsoon-{n_tors}x{n_aggs}")
+    for a in range(n_aggs):
+        g.add_node(f"agg{a}", kind="agg", layer=2)
+    for t in range(n_tors):
+        tor = f"tor{t}"
+        g.add_node(tor, kind="tor", layer=1)
+        for a in range(n_aggs):
+            g.add_edge(tor, f"agg{a}", capacity=up_cap)
+        for h in range(n_hosts_per_tor):
+            host = f"tor{t}h{h}"
+            g.add_node(host, kind="host", layer=0)
+            g.add_edge(host, tor, capacity=capacity)
+    return g

@@ -1,0 +1,60 @@
+"""Routing over data-center topologies.
+
+Static single-path routing for the multi-hop simulator: shortest paths
+(hop count) with a deterministic ECMP tie-break hashed on the flow
+identifier, so repeated runs place flows identically and equal-cost
+fabric paths spread load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import networkx as nx
+
+__all__ = ["shortest_route", "ecmp_route", "route_edges", "bottleneck_edge"]
+
+
+def shortest_route(graph: nx.Graph, src: str, dst: str) -> list[str]:
+    """One shortest path from ``src`` to ``dst`` (deterministic)."""
+    return nx.shortest_path(graph, src, dst)
+
+
+def _flow_hash(flow_id: int | str) -> int:
+    digest = hashlib.sha256(str(flow_id).encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def ecmp_route(graph: nx.Graph, src: str, dst: str, flow_id: int | str) -> list[str]:
+    """Pick among all shortest paths by a stable hash of ``flow_id``.
+
+    Mirrors switch ECMP: the same flow always takes the same path, and
+    distinct flows spread across the equal-cost set.
+    """
+    paths = sorted(nx.all_shortest_paths(graph, src, dst))
+    if not paths:
+        raise nx.NetworkXNoPath(f"no path {src} -> {dst}")
+    return paths[_flow_hash(flow_id) % len(paths)]
+
+
+def route_edges(path: list[str]) -> list[tuple[str, str]]:
+    """Directed edge list of a node path."""
+    return list(zip(path, path[1:]))
+
+
+def bottleneck_edge(
+    graph: nx.Graph, routes: list[list[str]]
+) -> tuple[tuple[str, str], int]:
+    """The most-shared directed edge across ``routes`` and its flow count.
+
+    A quick static congestion predictor: the edge traversed by the most
+    flows is where the BCN congestion point will form first.
+    """
+    counts: dict[tuple[str, str], int] = {}
+    for path in routes:
+        for edge in route_edges(path):
+            counts[edge] = counts.get(edge, 0) + 1
+    if not counts:
+        raise ValueError("no routes given")
+    edge = max(sorted(counts), key=lambda e: counts[e])
+    return edge, counts[edge]

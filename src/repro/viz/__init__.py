@@ -1,0 +1,13 @@
+"""ASCII plotting and CSV series export (no plotting stack required)."""
+
+from .ascii import AsciiCanvas, line_plot, phase_plot
+from .series import downsample, format_table, write_csv
+
+__all__ = [
+    "AsciiCanvas",
+    "phase_plot",
+    "line_plot",
+    "write_csv",
+    "downsample",
+    "format_table",
+]

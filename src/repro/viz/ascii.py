@@ -1,0 +1,155 @@
+"""ASCII rendering of phase planes and time series.
+
+The execution environment has no plotting stack, so the experiment
+harness renders figures as character rasters: good enough to eyeball a
+spiral, a limit cycle or a queue trace in a terminal or a log file, and
+deliberately dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["AsciiCanvas", "phase_plot", "line_plot"]
+
+
+class AsciiCanvas:
+    """A character raster with data-space coordinates."""
+
+    def __init__(
+        self,
+        width: int = 72,
+        height: int = 24,
+        *,
+        x_range: tuple[float, float],
+        y_range: tuple[float, float],
+    ) -> None:
+        if width < 8 or height < 4:
+            raise ValueError("canvas too small")
+        x_lo, x_hi = x_range
+        y_lo, y_hi = y_range
+        if not (x_hi > x_lo and y_hi > y_lo):
+            raise ValueError("ranges must be non-degenerate")
+        self.width = width
+        self.height = height
+        self.x_range = (x_lo, x_hi)
+        self.y_range = (y_lo, y_hi)
+        self._cells = [[" "] * width for _ in range(height)]
+
+    def _to_cell(self, x: float, y: float) -> tuple[int, int] | None:
+        x_lo, x_hi = self.x_range
+        y_lo, y_hi = self.y_range
+        if not (x_lo <= x <= x_hi and y_lo <= y <= y_hi):
+            return None
+        col = int((x - x_lo) / (x_hi - x_lo) * (self.width - 1))
+        row = int((y_hi - y) / (y_hi - y_lo) * (self.height - 1))
+        return row, col
+
+    def plot(self, xs, ys, marker: str = "*") -> None:
+        """Scatter points; off-canvas points are silently clipped."""
+        for x, y in zip(np.asarray(xs, float), np.asarray(ys, float)):
+            if math.isnan(x) or math.isnan(y):
+                continue
+            cell = self._to_cell(float(x), float(y))
+            if cell is not None:
+                row, col = cell
+                self._cells[row][col] = marker
+
+    def hline(self, y: float, marker: str = "-") -> None:
+        """Horizontal guide line at data ordinate ``y``."""
+        cell = self._to_cell(self.x_range[0], y)
+        if cell is None:
+            return
+        row = cell[0]
+        for col in range(self.width):
+            if self._cells[row][col] == " ":
+                self._cells[row][col] = marker
+
+    def vline(self, x: float, marker: str = "|") -> None:
+        """Vertical guide line at data abscissa ``x``."""
+        cell = self._to_cell(x, self.y_range[1])
+        if cell is None:
+            return
+        col = cell[1]
+        for row in range(self.height):
+            if self._cells[row][col] == " ":
+                self._cells[row][col] = marker
+
+    def line(self, slope: float, intercept: float = 0.0, marker: str = ".") -> None:
+        """Draw ``y = slope * x + intercept`` across the canvas."""
+        xs = np.linspace(self.x_range[0], self.x_range[1], self.width * 2)
+        self.plot(xs, slope * xs + intercept, marker)
+
+    def render(self, *, title: str | None = None) -> str:
+        """Return the raster as a framed multi-line string."""
+        border = "+" + "-" * self.width + "+"
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append(border)
+        lines += ["|" + "".join(row) + "|" for row in self._cells]
+        lines.append(border)
+        lines.append(
+            f"x: [{self.x_range[0]:.4g}, {self.x_range[1]:.4g}]  "
+            f"y: [{self.y_range[0]:.4g}, {self.y_range[1]:.4g}]"
+        )
+        return "\n".join(lines)
+
+
+def _padded_range(values: np.ndarray, pad: float = 0.08) -> tuple[float, float]:
+    lo, hi = float(np.min(values)), float(np.max(values))
+    if hi == lo:
+        span = abs(hi) if hi else 1.0
+        return lo - span * pad, hi + span * pad
+    span = hi - lo
+    return lo - span * pad, hi + span * pad
+
+
+def phase_plot(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    switching_k: float | None = None,
+    title: str | None = None,
+    width: int = 72,
+    height: int = 24,
+) -> str:
+    """Render a phase trajectory, with axes and the switching line."""
+    x = np.asarray(x, float)
+    y = np.asarray(y, float)
+    canvas = AsciiCanvas(
+        width, height, x_range=_padded_range(x), y_range=_padded_range(y)
+    )
+    canvas.hline(0.0)
+    canvas.vline(0.0)
+    if switching_k is not None and switching_k > 0:
+        canvas.line(-1.0 / switching_k, marker=":")
+    canvas.plot(x, y)
+    return canvas.render(title=title)
+
+
+def line_plot(
+    t: np.ndarray,
+    v: np.ndarray,
+    *,
+    reference: float | None = None,
+    title: str | None = None,
+    width: int = 72,
+    height: int = 16,
+) -> str:
+    """Render a time series, optionally with a reference guide line."""
+    t = np.asarray(t, float)
+    v = np.asarray(v, float)
+    v_lo, v_hi = _padded_range(v)
+    if reference is not None:
+        v_lo = min(v_lo, reference - abs(reference) * 0.05)
+        v_hi = max(v_hi, reference + abs(reference) * 0.05)
+    canvas = AsciiCanvas(
+        width, height, x_range=_padded_range(t, 0.0), y_range=(v_lo, v_hi)
+    )
+    if reference is not None:
+        canvas.hline(reference, "=")
+    canvas.plot(t, v)
+    return canvas.render(title=title)

@@ -1,0 +1,68 @@
+"""Series export: CSV writing and downsampling for figure data.
+
+Every experiment emits its figure as named columns; these helpers write
+them to CSV (the artefact a plotting environment would consume) and
+thin dense trajectories for readable logs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["write_csv", "downsample", "format_table"]
+
+
+def write_csv(path: str | Path, columns: Mapping[str, np.ndarray]) -> Path:
+    """Write named, equal-length columns to ``path`` as CSV."""
+    if not columns:
+        raise ValueError("no columns given")
+    arrays = {name: np.asarray(col).ravel() for name, col in columns.items()}
+    lengths = {name: arr.size for name, arr in arrays.items()}
+    if len(set(lengths.values())) != 1:
+        raise ValueError(f"column lengths differ: {lengths}")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    names = list(arrays)
+    with path.open("w") as fh:
+        fh.write(",".join(names) + "\n")
+        for row in zip(*(arrays[n] for n in names)):
+            fh.write(",".join(f"{v:.10g}" for v in row) + "\n")
+    return path
+
+
+def downsample(*arrays: np.ndarray, max_points: int = 500) -> tuple[np.ndarray, ...]:
+    """Thin parallel arrays to at most ``max_points`` (keeping endpoints)."""
+    if not arrays:
+        raise ValueError("no arrays given")
+    n = np.asarray(arrays[0]).size
+    for arr in arrays:
+        if np.asarray(arr).size != n:
+            raise ValueError("arrays must be parallel")
+    if n <= max_points:
+        return tuple(np.asarray(a) for a in arrays)
+    idx = np.unique(np.linspace(0, n - 1, max_points).astype(int))
+    return tuple(np.asarray(a)[idx] for a in arrays)
+
+
+def format_table(headers: list[str], rows: list[list], *, floatfmt: str = ".4g") -> str:
+    """Plain-text table with aligned columns."""
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return format(value, floatfmt)
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(row, widths)) for row in str_rows]
+    return "\n".join(lines)

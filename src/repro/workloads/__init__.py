@@ -1,0 +1,27 @@
+"""Workload generators for DCE congestion experiments."""
+
+from .flows import FlowSpec
+from .traces import SyntheticTrace, TraceConfig, generate_trace
+from .generators import (
+    OnOffSchedule,
+    homogeneous,
+    incast,
+    on_off,
+    parallel_io,
+    shuffle,
+    staggered,
+)
+
+__all__ = [
+    "FlowSpec",
+    "homogeneous",
+    "incast",
+    "parallel_io",
+    "staggered",
+    "shuffle",
+    "on_off",
+    "OnOffSchedule",
+    "TraceConfig",
+    "SyntheticTrace",
+    "generate_trace",
+]

@@ -1,0 +1,55 @@
+"""Flow specifications shared by the workload generators.
+
+A :class:`FlowSpec` names one long-lived or finite flow: endpoints,
+start time, optional size, and the demand (initial/unregulated rate).
+Workload generators (:mod:`repro.workloads`) produce lists of specs;
+the multi-hop simulator (:mod:`repro.simulation.multihop`) instantiates
+a paced source per spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FlowSpec"]
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One flow of a workload.
+
+    Attributes
+    ----------
+    flow_id:
+        Unique integer id (also the source address on the wire).
+    src, dst:
+        Host node names in the topology graph.
+    start_time:
+        Simulation time at which the source starts pacing.
+    demand:
+        Desired (unregulated) sending rate in bits/s; the BCN regulator
+        modulates below this.
+    size_bits:
+        Total bits to transfer, or None for a long-lived flow.
+    route:
+        Optional pre-computed node path; filled in by the simulator via
+        ECMP when absent.
+    """
+
+    flow_id: int
+    src: str
+    dst: str
+    start_time: float = 0.0
+    demand: float = 10e9
+    size_bits: float | None = None
+    route: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.demand <= 0:
+            raise ValueError("demand must be positive")
+        if self.start_time < 0:
+            raise ValueError("start_time cannot be negative")
+        if self.size_bits is not None and self.size_bits <= 0:
+            raise ValueError("size_bits must be positive when given")
+        if self.src == self.dst:
+            raise ValueError("src and dst must differ")

@@ -1,0 +1,220 @@
+"""Workload generators for DCE congestion experiments.
+
+The paper's analysis assumes homogeneous long-lived sources — the
+traffic pattern of parallel reads/writes in cluster file systems
+(Lustre, Panasas) over regular fabrics.  These generators produce that
+pattern and its common variants:
+
+* :func:`homogeneous` — N identical long-lived flows to one sink (the
+  paper's model, and the dumbbell scenario's default);
+* :func:`incast` — a partition/aggregate fan-in: many servers answer
+  one client simultaneously, the classic DCE stress case;
+* :func:`parallel_io` — cluster-FS style striped reads/writes between a
+  set of compute nodes and a set of storage targets;
+* :func:`staggered` — homogeneous flows with ramped start times, for
+  convergence/fairness experiments;
+* :func:`shuffle` — all-to-all transfers (the MapReduce shuffle stage);
+* :func:`on_off` — flows toggling between demand and silence with
+  exponential holding times (deterministically seeded).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .flows import FlowSpec
+
+__all__ = ["homogeneous", "incast", "parallel_io", "staggered", "on_off",
+           "shuffle", "OnOffSchedule"]
+
+
+def homogeneous(
+    sources: list[str],
+    sink: str,
+    *,
+    demand: float,
+    start_time: float = 0.0,
+) -> list[FlowSpec]:
+    """N identical long-lived flows from ``sources`` to ``sink``."""
+    if not sources:
+        raise ValueError("need at least one source")
+    return [
+        FlowSpec(flow_id=i, src=s, dst=sink, start_time=start_time, demand=demand)
+        for i, s in enumerate(sources)
+    ]
+
+
+def incast(
+    servers: list[str],
+    client: str,
+    *,
+    response_bits: float,
+    demand: float,
+    start_time: float = 0.0,
+) -> list[FlowSpec]:
+    """Synchronised fan-in: every server sends ``response_bits`` at once.
+
+    Models the partition/aggregate pattern: a client's request fans out
+    and all responses arrive in lock-step, overwhelming the client's
+    last-hop port — the scenario PAUSE-based flow control handles worst
+    and BCN is meant to tame.
+    """
+    if not servers:
+        raise ValueError("need at least one server")
+    return [
+        FlowSpec(
+            flow_id=i,
+            src=s,
+            dst=client,
+            start_time=start_time,
+            demand=demand,
+            size_bits=response_bits,
+        )
+        for i, s in enumerate(servers)
+    ]
+
+
+def parallel_io(
+    compute_nodes: list[str],
+    storage_nodes: list[str],
+    *,
+    stripe_bits: float,
+    demand: float,
+    write: bool = True,
+    start_time: float = 0.0,
+) -> list[FlowSpec]:
+    """Striped parallel I/O between compute and storage tiers.
+
+    Each compute node stripes one object across every storage node
+    (write) or reads its stripes back (read): ``len(compute) *
+    len(storage)`` synchronized flows of ``stripe_bits`` each — the
+    Lustre/Panasas pattern the paper cites.
+    """
+    if not compute_nodes or not storage_nodes:
+        raise ValueError("need both tiers populated")
+    flows = []
+    fid = 0
+    for cn in compute_nodes:
+        for sn in storage_nodes:
+            src, dst = (cn, sn) if write else (sn, cn)
+            flows.append(
+                FlowSpec(
+                    flow_id=fid,
+                    src=src,
+                    dst=dst,
+                    start_time=start_time,
+                    demand=demand,
+                    size_bits=stripe_bits,
+                )
+            )
+            fid += 1
+    return flows
+
+
+def staggered(
+    sources: list[str],
+    sink: str,
+    *,
+    demand: float,
+    interval: float,
+) -> list[FlowSpec]:
+    """Homogeneous flows whose starts are spaced ``interval`` apart."""
+    if interval < 0:
+        raise ValueError("interval cannot be negative")
+    return [
+        FlowSpec(
+            flow_id=i, src=s, dst=sink, start_time=i * interval, demand=demand
+        )
+        for i, s in enumerate(sources)
+    ]
+
+
+def shuffle(
+    hosts: list[str],
+    *,
+    transfer_bits: float,
+    demand: float,
+    start_time: float = 0.0,
+) -> list[FlowSpec]:
+    """All-to-all shuffle: every host sends to every other host.
+
+    The MapReduce/shuffle stage pattern: ``n (n-1)`` simultaneous
+    transfers of ``transfer_bits`` each, stressing the fabric core
+    rather than a single port.
+    """
+    if len(hosts) < 2:
+        raise ValueError("shuffle needs at least two hosts")
+    flows = []
+    fid = 0
+    for src in hosts:
+        for dst in hosts:
+            if src == dst:
+                continue
+            flows.append(
+                FlowSpec(flow_id=fid, src=src, dst=dst,
+                         start_time=start_time, demand=demand,
+                         size_bits=transfer_bits)
+            )
+            fid += 1
+    return flows
+
+
+class OnOffSchedule:
+    """Deterministic exponential on/off toggling for a set of flows.
+
+    Produces, per flow, a list of ``(on_time, off_time)`` intervals
+    covering ``horizon`` seconds, from a seeded RNG so experiments are
+    reproducible.
+    """
+
+    def __init__(
+        self,
+        n_flows: int,
+        *,
+        mean_on: float,
+        mean_off: float,
+        horizon: float,
+        seed: int = 0,
+    ) -> None:
+        if mean_on <= 0 or mean_off <= 0 or horizon <= 0:
+            raise ValueError("mean_on, mean_off and horizon must be positive")
+        self.horizon = horizon
+        rng = random.Random(seed)
+        self.intervals: list[list[tuple[float, float]]] = []
+        for _ in range(n_flows):
+            t = 0.0
+            spans: list[tuple[float, float]] = []
+            while t < horizon:
+                on = t
+                t += rng.expovariate(1.0 / mean_on)
+                spans.append((on, min(t, horizon)))
+                t += rng.expovariate(1.0 / mean_off)
+            self.intervals.append(spans)
+
+    def active_at(self, flow_index: int, t: float) -> bool:
+        """Whether flow ``flow_index`` is in an ON span at time ``t``."""
+        return any(a <= t < b for a, b in self.intervals[flow_index])
+
+    def duty_cycle(self, flow_index: int) -> float:
+        """Fraction of the horizon the flow spends ON."""
+        return (
+            sum(b - a for a, b in self.intervals[flow_index]) / self.horizon
+        )
+
+
+def on_off(
+    sources: list[str],
+    sink: str,
+    *,
+    demand: float,
+    mean_on: float,
+    mean_off: float,
+    horizon: float,
+    seed: int = 0,
+) -> tuple[list[FlowSpec], OnOffSchedule]:
+    """Homogeneous flows plus a deterministic on/off schedule."""
+    flows = homogeneous(sources, sink, demand=demand)
+    schedule = OnOffSchedule(
+        len(flows), mean_on=mean_on, mean_off=mean_off, horizon=horizon, seed=seed
+    )
+    return flows, schedule

@@ -1,0 +1,26 @@
+"""Integration: docs/API.md stays in sync with the public API."""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_api_doc_is_current():
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        import gen_api_doc
+    finally:
+        sys.path.pop(0)
+    generated = gen_api_doc.generate()
+    on_disk = (ROOT / "docs" / "API.md").read_text()
+    assert generated == on_disk, (
+        "docs/API.md is stale; regenerate with `python tools/gen_api_doc.py`"
+    )
+
+
+def test_api_doc_mentions_every_package():
+    text = (ROOT / "docs" / "API.md").read_text()
+    for package in ("repro.core", "repro.fluid", "repro.simulation",
+                    "repro.baselines", "repro.experiments"):
+        assert f"## `{package}`" in text

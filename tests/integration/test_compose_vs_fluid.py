@@ -1,0 +1,96 @@
+"""Integration: closed-form composition vs numerical integration.
+
+The semi-analytic composer and the scipy-based integrator solve the
+same switched linear system by entirely different means; across the
+case presets their switch times, crossing states and extrema must
+coincide.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.phase_plane import PhasePlaneAnalyzer
+from repro.experiments.presets import CASE1, CASE1_SLOW, CASE2, CASE3, CASE4, CASE5
+from repro.fluid.integrate import simulate_fluid
+
+PRESETS = {
+    "case1": CASE1,
+    "case1_slow": CASE1_SLOW,
+    "case2": CASE2,
+    "case3": CASE3,
+    "case4": CASE4,
+    "case5": CASE5,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PRESETS))
+def test_switch_times_agree(name):
+    p = PRESETS[name]
+    composed = PhasePlaneAnalyzer(p).compose(max_switches=8)
+    horizon = composed.total_duration
+    if math.isinf(horizon):
+        horizon = (composed.switch_states[-1][0] + 10.0
+                   if composed.switch_states else 10.0)
+    fluid = simulate_fluid(p, t_max=horizon, mode="linearized",
+                           max_switches=20)
+    ct = [t for t, _, _ in composed.switch_states]
+    ft = fluid.switch_times
+    assert len(ft) >= min(len(ct), 5) - 1
+    for c, f in zip(ct, ft):
+        assert f == pytest.approx(c, rel=1e-4, abs=1e-4)
+
+
+@pytest.mark.parametrize("name", sorted(PRESETS))
+def test_crossing_states_agree(name):
+    p = PRESETS[name]
+    composed = PhasePlaneAnalyzer(p).compose(max_switches=6)
+    if not composed.switch_states:
+        pytest.skip("no crossings for this preset")
+    horizon = composed.switch_states[-1][0] * 1.01
+    fluid = simulate_fluid(p, t_max=horizon, mode="linearized",
+                           max_switches=20)
+    switches = [e for e in fluid.events if e.kind == "switch"]
+    for (tc, xc, yc), ev in zip(composed.switch_states, switches):
+        scale = max(abs(xc), abs(yc), 1.0)
+        assert abs(ev.x - xc) < 1e-3 * scale
+        assert abs(ev.y - yc) < 1e-3 * scale
+
+
+@pytest.mark.parametrize("name", ["case1", "case1_slow", "case2"])
+def test_first_extrema_agree(name):
+    p = PRESETS[name]
+    composed = PhasePlaneAnalyzer(p).compose(max_switches=6)
+    peaks_c = [x for _, x in composed.extrema if x > 0]
+    horizon = composed.switch_states[-1][0] * 1.2
+    fluid = simulate_fluid(p, t_max=horizon, mode="linearized",
+                           max_switches=20)
+    peaks_f = [x for _, x in fluid.extrema if x > 0]
+    assert peaks_c and peaks_f
+    assert peaks_f[0] == pytest.approx(peaks_c[0], rel=1e-5)
+
+
+@pytest.mark.parametrize("name", ["case3", "case4"])
+def test_no_overshoot_cases_agree(name):
+    p = PRESETS[name]
+    composed = PhasePlaneAnalyzer(p).compose(max_switches=6)
+    fluid = simulate_fluid(p, t_max=50.0, mode="linearized", max_switches=20)
+    assert composed.max_x() <= 1e-9 * p.q0
+    assert fluid.max_x() <= 1e-6 * p.q0
+
+
+def test_sampled_trajectories_overlap_case1():
+    p = CASE1_SLOW
+    composed = PhasePlaneAnalyzer(p).compose(max_switches=10)
+    horizon = composed.switch_states[-1][0]
+    fluid = simulate_fluid(p, t_max=horizon, mode="linearized",
+                           max_switches=40)
+    samples = composed.sample(400)
+    mask = samples[:, 0] <= fluid.t[-1]
+    x_interp = np.interp(samples[mask, 0], fluid.t, fluid.x)
+    span = samples[:, 1].max() - samples[:, 1].min()
+    # tolerance dominated by linear interpolation on the integrator's
+    # native output grid, not by solution error
+    err = np.max(np.abs(samples[mask, 1] - x_interp))
+    assert err < 1e-3 * span

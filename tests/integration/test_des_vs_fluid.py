@@ -1,0 +1,47 @@
+"""Integration: the packet-level DES reproduces the fluid dynamics.
+
+Runs the V2 validation scenario at a shorter horizon and asserts shape
+agreement — the end-to-end check that the paper's fluid conclusions
+carry over to packet granularity.
+"""
+
+import pytest
+
+from repro.analysis.validation import fluid_vs_packet
+from repro.experiments.v2_fluid_vs_packet import validation_params
+
+
+@pytest.fixture(scope="module")
+def agreement():
+    report, series = fluid_vs_packet(validation_params(), duration=0.25,
+                                     frame_bits=1500)
+    return report, series
+
+
+class TestShapeAgreement:
+    def test_low_normalized_rms_error(self, agreement):
+        report, _ = agreement
+        assert report.nrmse < 0.15
+
+    def test_peak_agreement(self, agreement):
+        report, _ = agreement
+        assert report.peak_ratio == pytest.approx(1.0, abs=0.25)
+
+    def test_steady_state_mean(self, agreement):
+        report, _ = agreement
+        assert report.mean_ratio == pytest.approx(1.0, abs=0.2)
+
+    def test_same_classification(self, agreement):
+        report, _ = agreement
+        assert report.reference_class == report.candidate_class == "converging"
+
+    def test_period_agreement(self, agreement):
+        report, _ = agreement
+        assert report.period_ratio is not None
+        assert report.period_ratio == pytest.approx(1.0, abs=0.25)
+
+    def test_series_well_formed(self, agreement):
+        _, series = agreement
+        assert series["fluid_t"].shape == series["fluid_q"].shape
+        assert series["packet_t"].shape == series["packet_q"].shape
+        assert series["packet_q"].min() >= 0.0

@@ -1,0 +1,100 @@
+"""Integration: the example scripts run end-to-end.
+
+Each example is executed in-process (runpy) with its ``main()`` patched
+horizon where needed; stdout must contain the landmarks a reader is
+promised.
+"""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    buffer = io.StringIO()
+    argv = sys.argv
+    sys.argv = [name]
+    try:
+        with redirect_stdout(buffer):
+            runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return buffer.getvalue()
+
+
+def test_quickstart_reports_stability_and_buffer():
+    out = run_example("quickstart.py")
+    assert "strongly stable: True" in out
+    assert "13.8" in out  # Theorem 1 requirement
+    assert "phase plane" in out
+
+
+def test_buffer_sizing_tables():
+    out = run_example("buffer_sizing.py")
+    assert "Buffer requirement by fabric" in out
+    assert "Gain trade-off" in out
+    assert "100G" in out
+
+
+@pytest.mark.slow
+def test_incast_fattree():
+    out = run_example("incast_fattree.py")
+    assert "predicted congestion point" in out
+    assert "hottest port" in out
+    assert "fairness across servers" in out
+
+
+@pytest.mark.slow
+def test_parallel_io_dcell():
+    out = run_example("parallel_io_dcell.py")
+    assert "stripes >=95% delivered" in out
+    assert "hottest ports" in out
+
+
+@pytest.mark.slow
+def test_scheme_shootout():
+    out = run_example("scheme_shootout.py")
+    for scheme in ("bcn", "qcn", "e2cm", "fera", "aimd"):
+        assert scheme in out
+    assert "Theorem 1" in out
+
+
+def test_limit_cycle_tour():
+    out = run_example("limit_cycle_tour.py")
+    assert "closed orbit" in out
+    assert "quantized feedback keeps the real system hunting" in out
+
+
+@pytest.mark.slow
+def test_trace_driven_fabric():
+    out = run_example("trace_driven_fabric.py")
+    assert "FCT p50" in out
+    assert "hottest port" in out
+    assert "traced port sample" in out
+
+
+def test_fairness_dynamics():
+    out = run_example("fairness_dynamics.py")
+    assert "Jain index" in out
+    assert "Chiu-Jain plane" in out
+    assert "control arm" in out
+
+
+@pytest.mark.slow
+def test_delay_study():
+    out = run_example("delay_study.py")
+    assert "Nyquist margin" in out
+    assert "critical delay" in out
+    assert "limit cycle" in out
+
+
+def test_phase_portrait_gallery():
+    out = run_example("phase_portrait_gallery.py")
+    for case in ("case1", "case2", "case3", "case4", "case5"):
+        assert case in out

@@ -1,0 +1,92 @@
+"""Integration: every registered experiment runs and its verdicts pass.
+
+This is the repository's figure-level regression suite: each experiment
+encodes the shape claims of one paper figure/table as boolean verdicts.
+"""
+
+import numpy as np
+import pytest
+
+import repro.experiments  # noqa: F401 — registration side effects
+from repro.experiments.base import all_experiments, get_experiment
+
+EXPERIMENT_IDS = sorted(all_experiments())
+
+
+def _run(experiment_id, **options):
+    return get_experiment(experiment_id)(render_plots=False, **options)
+
+
+@pytest.fixture(scope="module")
+def results():
+    cache = {}
+    for experiment_id in EXPERIMENT_IDS:
+        options = {}
+        if experiment_id == "v2":
+            options["duration"] = 0.25
+        if experiment_id == "v6":
+            options["duration"] = 0.2
+        if experiment_id == "v3":
+            options["duration"] = 0.02
+        cache[experiment_id] = _run(experiment_id, **options)
+    return cache
+
+
+def test_all_expected_experiments_registered():
+    assert set(EXPERIMENT_IDS) == {
+        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "t1", "v1", "v2", "v3", "v4", "v5", "v6", "d1", "m1",
+    }
+
+
+@pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+def test_experiment_verdicts_pass(results, experiment_id):
+    result = results[experiment_id]
+    assert result.passed, (
+        f"{experiment_id} failing verdicts: {result.failing_verdicts()}"
+    )
+
+
+@pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+def test_experiment_renders(results, experiment_id):
+    text = results[experiment_id].render()
+    assert experiment_id in text
+    assert "FAIL" not in text
+
+
+@pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+def test_series_are_finite(results, experiment_id):
+    for name, col in results[experiment_id].series.items():
+        arr = np.asarray(col, dtype=float)
+        assert np.isfinite(arr).all(), f"{experiment_id}:{name} has non-finite"
+
+
+def test_save_series_writes_csv(results, tmp_path):
+    path = results["fig6"].save_series(tmp_path)
+    assert path is not None and path.exists()
+    header = path.read_text().splitlines()[0]
+    assert "t" in header and "x" in header
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        get_experiment("fig99")
+
+
+class TestHeadlineNumbers:
+    """The quantitative anchors of the reproduction."""
+
+    def test_t1_required_buffer(self, results):
+        rows = {row[0]: row for row in results["t1"].table_rows}
+        reproduced = rows["required buffer (Mbit)"][2]
+        assert reproduced == pytest.approx(13.81, abs=0.05)
+
+    def test_v1_soundness(self, results):
+        assert results["v1"].verdicts["bound_never_exceeded"]
+
+    def test_v2_close_agreement(self, results):
+        rows = {row[0]: row[1] for row in results["v2"].table_rows}
+        assert rows["nrmse"] < 0.15
+
+    def test_fig7_no_interior_cycle(self, results):
+        assert results["fig7"].verdicts["no_interior_limit_cycle"]

@@ -1,0 +1,117 @@
+"""Numerical hardening: cross-checks between independent machineries.
+
+Each test pits two unrelated computations of the same quantity against
+each other — the strongest correctness evidence the library can give.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.limit_cycle import linearized_contraction, return_map
+from repro.core.parameters import NormalizedParams
+from repro.core.phase_plane import PhasePlaneAnalyzer
+from repro.core.stability import case1_excursion_bounds, required_buffer
+from repro.core.transient import round_period, settling_time
+from repro.fluid.delay import simulate_delayed
+from repro.fluid.integrate import simulate_fluid
+
+
+def norm(a=2.0, b=0.02, k=0.1, buffer_size=1e9):
+    return NormalizedParams(a=a, b=b, k=k, capacity=100.0, q0=10.0,
+                            buffer_size=buffer_size)
+
+
+class TestDDEConvergence:
+    def test_step_halving_converges(self):
+        """RK4 + linear history interpolation: refining the step must
+        change the solution by far less than the coarse error."""
+        p = norm(k=1.0)
+        coarse = simulate_delayed(p, tau=0.3, t_max=10.0, step=0.02)
+        fine = simulate_delayed(p, tau=0.3, t_max=10.0, step=0.005)
+        finest = simulate_delayed(p, tau=0.3, t_max=10.0, step=0.00125)
+        x_c = np.interp(finest.t, coarse.t, coarse.x)
+        x_f = np.interp(finest.t, fine.t, fine.x)
+        err_coarse = np.max(np.abs(x_c - finest.x))
+        err_fine = np.max(np.abs(x_f - finest.x))
+        assert err_fine < err_coarse / 4.0  # at least 2nd-order overall
+
+    def test_zero_delay_limit(self):
+        """tau -> 0 recovers the undelayed switched system."""
+        p = norm(k=1.0)
+        tiny = simulate_delayed(p, tau=1e-4, t_max=8.0)
+        undelayed = simulate_fluid(p, t_max=8.0, mode="nonlinear",
+                                   max_switches=100)
+        x_interp = np.interp(tiny.t, undelayed.t, undelayed.x)
+        span = undelayed.x.max() - undelayed.x.min()
+        assert np.max(np.abs(tiny.x - x_interp)) < 0.02 * span
+
+
+class TestReturnMapVsComposer:
+    def test_switching_ordinates_follow_the_map(self):
+        """The composer's successive same-side crossing ordinates must
+        decay by exactly the return map's linearised contraction."""
+        p = norm(k=0.1)
+        rho = linearized_contraction(p)
+        ys = PhasePlaneAnalyzer(p).switching_ordinates(n_rounds=5)
+        ups = [y for y in ys if y > 0]
+        for y1, y2 in zip(ups, ups[1:]):
+            assert y2 / y1 == pytest.approx(rho, rel=1e-6)
+
+    def test_map_agrees_with_direct_fluid_integration(self):
+        p = norm(k=0.1)
+        y0 = 5.0
+        mapped = return_map(p, y0, mode="nonlinear")
+        fluid = simulate_fluid(p, x0=-p.k * y0, y0=y0, t_max=50.0,
+                               mode="nonlinear", max_switches=3)
+        switches = [e for e in fluid.events if e.kind == "switch"]
+        assert len(switches) >= 2
+        assert switches[1].y == pytest.approx(mapped, rel=1e-4)
+
+
+class TestTransientVsSimulation:
+    def test_settling_time_matches_envelope_decay(self):
+        """The closed-form 1% settling time equals where the simulated
+        oscillation envelope actually reaches 1%."""
+        p = norm(k=0.2)
+        t_settle = settling_time(p, fraction=0.01)
+        traj = PhasePlaneAnalyzer(p).compose(max_switches=200)
+        first_peak = next(x for _, x in traj.extrema if x > 0)
+        late_peaks = [(t, x) for t, x in traj.extrema
+                      if x > 0 and x < 0.01 * first_peak]
+        assert late_peaks
+        # the first sub-1% peak lands within one round of the formula
+        assert late_peaks[0][0] == pytest.approx(
+            t_settle, abs=1.5 * round_period(p))
+
+    def test_bounds_linear_in_q0(self):
+        """The whole linearised system is homogeneous of degree 1 in the
+        state, so the Case-1 excursions scale exactly with q0."""
+        p1 = norm(k=0.1)
+        p2 = NormalizedParams(a=p1.a, b=p1.b, k=p1.k,
+                              capacity=p1.capacity,
+                              q0=3.0 * p1.q0, buffer_size=1e12)
+        m1a, n1a = case1_excursion_bounds(p1)
+        m1b, n1b = case1_excursion_bounds(p2)
+        assert m1b == pytest.approx(3.0 * m1a, rel=1e-12)
+        assert n1b == pytest.approx(3.0 * n1a, rel=1e-12)
+
+
+class TestCriterionVsPhysicalModel:
+    @pytest.mark.parametrize("k", [1.0, 0.1, 0.02])
+    def test_theorem1_admits_only_safe_physical_runs(self, k):
+        """With buffer at 1.05x the Theorem 1 requirement, the physical
+        fluid model must never drop (pin at the buffer)."""
+        need = required_buffer(norm(k=k))
+        p = norm(k=k, buffer_size=need * 1.05)
+        traj = simulate_fluid(p, t_max=300.0, mode="physical",
+                              max_switches=2000)
+        assert not traj.hit_buffer_full()
+
+    def test_undersized_buffer_pins(self):
+        need = required_buffer(norm(k=0.02))
+        p = norm(k=0.02, buffer_size=need * 0.6)
+        traj = simulate_fluid(p, t_max=100.0, mode="physical",
+                              max_switches=2000)
+        assert traj.hit_buffer_full()

@@ -1,0 +1,153 @@
+"""Property-based tests for the extension modules.
+
+Wire-format round-trips, trace-generator statistics, design-calculator
+tightness and the Lyapunov decay law, over randomised inputs.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.design import max_flows, max_gi, max_q0, min_gd
+from repro.core.lyapunov import (
+    crossing_energy_ratio,
+    decrease_energy,
+    decrease_energy_rate,
+    increase_energy,
+    increase_energy_rate,
+)
+from repro.core.parameters import BCNParams, NormalizedParams
+from repro.core.stability import theorem1_criterion
+from repro.simulation.frames import BCNMessage
+from repro.simulation.wire import pack_bcn, unpack_bcn
+from repro.workloads.traces import TraceConfig, generate_trace
+
+
+# -- wire format -----------------------------------------------------------
+
+@given(
+    da=st.integers(min_value=0, max_value=2**48 - 1),
+    sa=st.integers(min_value=0, max_value=2**48 - 1),
+    fb=st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+    quantum=st.floats(min_value=1e-3, max_value=1e6),
+    cpid=st.text(min_size=1, max_size=40),
+)
+@settings(max_examples=200, deadline=None)
+def test_wire_round_trip(da, sa, fb, quantum, cpid):
+    message = BCNMessage(da=da, sa="sw", cpid=cpid, fb=fb, q_off=0.0,
+                         q_delta=0.0, fb_raw=fb)
+    wire = unpack_bcn(pack_bcn(message, switch_address=sa,
+                               sigma_quantum=quantum))
+    assert wire.da == da
+    assert wire.sa == sa
+    assert wire.is_bcn
+    expected = round(fb / quantum)
+    expected = max(-(2**31), min(2**31 - 1, expected))
+    assert wire.fb_quanta == expected
+
+
+@given(cpid=st.text(min_size=1, max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_wire_cpid_stable(cpid):
+    m = BCNMessage(da=0, sa="sw", cpid=cpid, fb=1.0, q_off=0.0, q_delta=0.0)
+    w1 = unpack_bcn(pack_bcn(m))
+    w2 = unpack_bcn(pack_bcn(m))
+    assert w1.cpid == w2.cpid
+    assert 0 <= w1.cpid < 2**32
+
+
+# -- traces ------------------------------------------------------------------
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    rate=st.floats(min_value=50.0, max_value=500.0),
+    shape=st.floats(min_value=1.05, max_value=1.9),
+)
+@settings(max_examples=40, deadline=None)
+def test_trace_invariants(seed, rate, shape):
+    config = TraceConfig(arrival_rate=rate, mean_size_bits=1e6, horizon=0.5,
+                         pareto_shape=shape, seed=seed)
+    hosts = [f"h{i}" for i in range(6)]
+    trace = generate_trace(config, hosts)
+    starts = [f.start_time for f in trace.flows]
+    assert starts == sorted(starts)
+    for flow in trace.flows:
+        assert 0.0 <= flow.start_time < 0.5
+        assert config.min_size_bits <= flow.size_bits <= config.max_size_bits
+        assert flow.src != flow.dst
+        assert flow.src in hosts and flow.dst in hosts
+    ids = [f.flow_id for f in trace.flows]
+    assert ids == list(range(len(ids)))
+
+
+# -- design calculators -------------------------------------------------------
+
+design_caps = st.floats(min_value=1e9, max_value=100e9)
+design_flows = st.integers(min_value=2, max_value=500)
+design_ratio = st.floats(min_value=1.5, max_value=50.0)
+
+
+@given(capacity=design_caps, n_flows=design_flows, ratio=design_ratio)
+@settings(max_examples=80, deadline=None)
+def test_design_inverses_are_tight(capacity, n_flows, ratio):
+    q0 = capacity / 4000.0
+    params = BCNParams(capacity=capacity, n_flows=n_flows, q0=q0,
+                       buffer_size=q0 * ratio)
+    n_max = max_flows(params)
+    if n_max >= 1:
+        assert theorem1_criterion(params.with_(n_flows=n_max))
+    assert not theorem1_criterion(params.with_(n_flows=n_max + 1))
+
+    gi_max = max_gi(params)
+    assume(gi_max > 1e-9)
+    assert theorem1_criterion(params.with_(gi=gi_max * 0.999))
+    assert not theorem1_criterion(params.with_(gi=gi_max * 1.001))
+
+    q0_max = max_q0(params)
+    if q0_max < params.buffer_size:
+        assert theorem1_criterion(params.with_(q0=q0_max * 0.999))
+
+    gd_min = min_gd(params)
+    assert theorem1_criterion(params.with_(gd=gd_min * 1.001))
+
+
+# -- Lyapunov -----------------------------------------------------------------
+
+lyap_states = st.tuples(
+    st.floats(min_value=-50.0, max_value=50.0),
+    st.floats(min_value=-80.0, max_value=400.0),
+)
+
+
+@given(
+    state=lyap_states,
+    a=st.floats(min_value=0.1, max_value=20.0),
+    b=st.floats(min_value=0.005, max_value=0.3),
+    k=st.floats(min_value=0.01, max_value=2.0),
+)
+@settings(max_examples=150, deadline=None)
+def test_lyapunov_rates_nonpositive(state, a, b, k):
+    x, y = state
+    p = NormalizedParams(a=a, b=b, k=k, capacity=100.0, q0=10.0,
+                         buffer_size=1e9)
+    assert increase_energy(p, x, y) >= 0.0
+    assert increase_energy_rate(p, x, y) <= 0.0
+    assert decrease_energy(p, x, y) >= -1e-12
+    assert decrease_energy_rate(p, x, y) <= 0.0
+
+
+@given(
+    y=st.floats(min_value=1e-3, max_value=99.0),
+    b=st.floats(min_value=0.005, max_value=0.3),
+)
+@settings(max_examples=100, deadline=None)
+def test_crossing_ratio_in_unit_interval(y, b):
+    p = NormalizedParams(a=2.0, b=b, k=0.1, capacity=100.0, q0=10.0,
+                         buffer_size=1e9)
+    ratio = crossing_energy_ratio(p, y)
+    assert 0.0 < ratio < 1.0
+    # larger amplitudes lose more
+    smaller = crossing_energy_ratio(p, y / 2.0)
+    assert ratio <= smaller + 1e-9

@@ -1,0 +1,141 @@
+"""Additional coverage: FCT accounting, CLI report, blend extremes,
+transient Case 2, wire defaults, downsampled experiments glue."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.parameters import NormalizedParams
+from repro.core.phase_plane import PaperCase
+from repro.core.transient import transient_report
+from repro.simulation.multihop import MultiHopNetwork, PortConfig
+from repro.topology.graphs import dumbbell
+from repro.workloads.flows import FlowSpec
+
+
+class TestFlowCompletionTimes:
+    def run_two_finite_flows(self):
+        g = dumbbell(2, capacity=1e8)
+        flows = [
+            FlowSpec(flow_id=0, src="h0", dst="sink", demand=5e7,
+                     size_bits=1e6),
+            FlowSpec(flow_id=1, src="h1", dst="sink", demand=5e7,
+                     size_bits=4e6, start_time=0.01),
+        ]
+        net = MultiHopNetwork(
+            g, flows, PortConfig(q0=5e4, buffer_bits=5e5, pm=0.1),
+            frame_bits=8000)
+        return net.run(0.6)
+
+    def test_finite_flows_get_finish_times(self):
+        res = self.run_two_finite_flows()
+        assert set(res.completed_flows()) == {0, 1}
+        for fid in (0, 1):
+            fct = res.flow_completion_time(fid)
+            assert fct is not None and fct > 0
+
+    def test_fct_measured_from_start_time(self):
+        res = self.run_two_finite_flows()
+        # flow 1 started at 0.01; its absolute finish exceeds its FCT
+        assert res.finish_times[1] > res.flow_completion_time(1)
+        assert res.flow_completion_time(1) == pytest.approx(
+            res.finish_times[1] - 0.01)
+
+    def test_bigger_flow_takes_longer(self):
+        res = self.run_two_finite_flows()
+        assert res.flow_completion_time(1) > res.flow_completion_time(0)
+
+    def test_unfinished_flow_returns_none(self):
+        g = dumbbell(1, capacity=1e6)  # tiny link: cannot finish in time
+        flows = [FlowSpec(flow_id=0, src="h0", dst="sink", demand=1e6,
+                          size_bits=1e9)]
+        net = MultiHopNetwork(
+            g, flows, PortConfig(q0=5e4, buffer_bits=5e5, pm=0.1),
+            frame_bits=8000)
+        res = net.run(0.01)
+        assert res.flow_completion_time(0) is None
+
+
+class TestCLIReport:
+    def test_report_command(self, tmp_path, capsys):
+        out_path = tmp_path / "R.md"
+        code = cli_main(["report", "fig4", "--out", str(out_path)])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert out_path.exists()
+        assert "fig4" in captured and "PASS" in captured
+
+
+class TestE2CMBlendExtremes:
+    def test_blend_zero_is_pure_bcn(self):
+        from repro.baselines.e2cm import E2CMParams, run_e2cm_dumbbell
+
+        res = run_e2cm_dumbbell(
+            E2CMParams(capacity=1e8, n_flows=4, q0=1e5, buffer_bits=1e6,
+                       pm=0.1, blend=0.0),
+            0.1, frame_bits=8000)
+        assert res.utilization() > 0.5
+
+
+class TestTransientCase2:
+    def test_case2_report(self):
+        p = NormalizedParams(a=8.0, b=0.02, k=1.0, capacity=100.0, q0=10.0,
+                             buffer_size=100.0)
+        report = transient_report(p)
+        assert report.case is PaperCase.CASE2
+        assert report.overshoot_ratio > 0
+        assert report.contraction is None  # not a two-spiral system
+        assert report.crossings == 2
+
+    def test_case5_report(self):
+        p = NormalizedParams(a=4.0, b=0.02, k=1.0, capacity=100.0, q0=10.0,
+                             buffer_size=100.0)
+        report = transient_report(p)
+        assert report.case is PaperCase.CASE5
+        assert "overshoot" in report.summary()
+
+
+class TestFluidIntegratorExtras:
+    def test_explicit_initial_state(self):
+        from repro.fluid.integrate import simulate_fluid
+
+        p = NormalizedParams(a=2.0, b=0.02, k=0.1, capacity=100.0, q0=10.0,
+                             buffer_size=200.0)
+        traj = simulate_fluid(p, x0=3.0, y0=-4.0, t_max=5.0,
+                              max_switches=50)
+        assert traj.x[0] == pytest.approx(3.0)
+        assert traj.y[0] == pytest.approx(-4.0)
+
+    def test_modes_agree_at_small_amplitude(self):
+        from repro.fluid.integrate import simulate_fluid
+
+        p = NormalizedParams(a=2.0, b=0.02, k=0.1, capacity=100.0, q0=10.0,
+                             buffer_size=200.0)
+        lin = simulate_fluid(p, x0=-0.01, y0=0.0, t_max=10.0,
+                             mode="linearized", max_switches=50)
+        non = simulate_fluid(p, x0=-0.01, y0=0.0, t_max=10.0,
+                             mode="nonlinear", max_switches=50)
+        x_lin = np.interp(non.t, lin.t, lin.x)
+        assert np.max(np.abs(x_lin - non.x)) < 1e-4 * 0.01
+
+    def test_physical_mode_never_leaves_strip(self):
+        from repro.fluid.integrate import simulate_fluid
+
+        p = NormalizedParams(a=2.0, b=0.02, k=0.01, capacity=100.0,
+                             q0=10.0, buffer_size=14.0)
+        traj = simulate_fluid(p, t_max=150.0, mode="physical",
+                              max_switches=2000)
+        assert traj.x.max() <= p.buffer_size - p.q0 + 1e-6
+        assert traj.x.min() >= -p.q0 - 1e-6
+
+
+class TestSegmentSampling:
+    def test_final_infinite_segment_sampled_over_horizon(self):
+        from repro.core.phase_plane import PhasePlaneAnalyzer
+
+        p = NormalizedParams(a=2.0, b=0.08, k=1.0, capacity=100.0,
+                             q0=10.0, buffer_size=100.0)  # Case 3
+        traj = PhasePlaneAnalyzer(p).compose(max_switches=5)
+        samples = traj.sample(100, final_horizon=2.0)
+        final_start = traj.segments[-1].t_start
+        assert samples[-1, 0] == pytest.approx(final_start + 2.0)

@@ -1,0 +1,86 @@
+"""Unit tests for the delayed-feedback DDE integrator (repro.fluid.delay)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.linear_analysis import nyquist_delay_margin
+from repro.core.parameters import NormalizedParams
+from repro.fluid.delay import critical_delay, simulate_delayed
+from repro.fluid.integrate import simulate_fluid
+
+
+def norm(**overrides):
+    config = dict(a=2.0, b=0.02, k=1.0, capacity=100.0, q0=10.0,
+                  buffer_size=1e9)
+    config.update(overrides)
+    return NormalizedParams(**config)
+
+
+class TestIntegrator:
+    def test_tiny_delay_matches_undelayed(self):
+        p = norm()
+        delayed = simulate_delayed(p, tau=1e-4, t_max=10.0)
+        undelayed = simulate_fluid(p, t_max=10.0, mode="nonlinear",
+                                   max_switches=200)
+        x_interp = np.interp(delayed.t, undelayed.t, undelayed.x)
+        span = undelayed.x.max() - undelayed.x.min()
+        assert np.max(np.abs(delayed.x - x_interp)) < 0.02 * span
+
+    def test_initial_condition(self):
+        p = norm()
+        traj = simulate_delayed(p, tau=0.1, t_max=1.0, x0=-5.0, y0=2.0)
+        assert traj.x[0] == -5.0
+        assert traj.y[0] == 2.0
+
+    def test_small_delay_stable_classification(self):
+        traj = simulate_delayed(norm(), tau=0.05, t_max=60.0)
+        assert traj.classify() == "stable"
+
+    def test_large_delay_unstable_classification(self):
+        traj = simulate_delayed(norm(), tau=1.2, t_max=60.0)
+        assert traj.classify() == "unstable"
+
+    def test_unstable_amplitude_grows_but_stays_bounded(self):
+        # Beyond the margin the oscillation grows, yet the (y+C)
+        # nonlinearity prevents true divergence: the trajectory remains
+        # finite (it saturates into a cycle; see TestDelayInducedCycle).
+        traj = simulate_delayed(norm(), tau=1.2, t_max=80.0)
+        assert np.isfinite(traj.x).all()
+        # saturation happens within a few rounds, so compare the very
+        # first excursion against the late amplitude
+        early = np.abs(traj.x[traj.t < 2.0]).max()
+        late = np.abs(traj.x[traj.t > 60.0]).max()
+        assert late > 2.0 * early
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_delayed(norm(), tau=0.0, t_max=1.0)
+        with pytest.raises(ValueError):
+            simulate_delayed(norm(), tau=0.01, t_max=1.0, step=0.02)
+
+
+class TestCriticalDelay:
+    def test_matches_nyquist_margin(self):
+        p = norm()
+        margin = nyquist_delay_margin(p.n_increase, p.k)
+        tau_c = critical_delay(p, tau_lo=0.1 * margin, tau_hi=2.5 * margin,
+                               t_max=60.0, iterations=7)
+        assert tau_c == pytest.approx(margin, rel=0.15)
+
+    def test_bracket_validation(self):
+        p = norm()
+        with pytest.raises(ValueError):
+            critical_delay(p, tau_lo=1.2, tau_hi=2.0, t_max=40.0)
+        with pytest.raises(ValueError):
+            critical_delay(p, tau_lo=0.01, tau_hi=0.02, t_max=40.0)
+
+
+class TestDelayInducedCycle:
+    def test_growth_saturates(self):
+        """Past the margin the (y+C) nonlinearity caps the amplitude:
+        an attracting limit cycle, not divergence to infinity."""
+        p = norm()
+        traj = simulate_delayed(p, tau=0.8, t_max=250.0)
+        late = np.abs(traj.x[traj.t > 150.0])
+        assert late.max() < 50.0 * p.q0  # bounded
+        assert late.max() > 2.0 * p.q0   # but large: a real oscillation

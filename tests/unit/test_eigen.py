@@ -1,0 +1,108 @@
+"""Unit tests for repro.core.eigen."""
+
+import numpy as np
+import pytest
+
+from repro.core.eigen import (
+    FixedPointType,
+    Region,
+    characteristic_coefficients,
+    eigenstructure,
+    region_eigenstructure,
+)
+from repro.core.parameters import NormalizedParams
+
+
+def norm(a=2.0, b=0.02, k=1.0):
+    return NormalizedParams(a=a, b=b, k=k, capacity=100.0, q0=10.0,
+                            buffer_size=100.0)
+
+
+class TestEigenstructure:
+    def test_focus_below_threshold(self):
+        eig = eigenstructure(n=2.0, k=1.0)  # 4/k^2 = 4 > 2
+        assert eig.kind is FixedPointType.FOCUS
+        assert eig.lambda1.imag != 0
+
+    def test_node_above_threshold(self):
+        eig = eigenstructure(n=8.0, k=1.0)
+        assert eig.kind is FixedPointType.NODE
+        lam1, lam2 = eig.real_eigenvalues
+        assert lam1 < lam2 < 0
+
+    def test_degenerate_at_threshold(self):
+        eig = eigenstructure(n=4.0, k=1.0)
+        assert eig.kind is FixedPointType.DEGENERATE_NODE
+        assert eig.lambda1 == eig.lambda2
+
+    def test_eigenvalues_match_numpy_roots(self):
+        for n, k in [(2.0, 1.0), (8.0, 1.0), (5.0, 0.3), (100.0, 0.5)]:
+            eig = eigenstructure(n, k)
+            roots = sorted(np.roots([1.0, k * n, n]), key=lambda z: (z.real, z.imag))
+            mine = sorted([eig.lambda1, eig.lambda2],
+                          key=lambda z: (z.real, z.imag))
+            for r, m in zip(roots, mine):
+                assert complex(r) == pytest.approx(complex(m), abs=1e-9)
+
+    def test_alpha_beta_for_focus(self):
+        eig = eigenstructure(n=2.0, k=1.0)
+        assert eig.alpha == pytest.approx(-1.0)
+        assert eig.beta == pytest.approx(np.sqrt(2.0 - 1.0))
+        assert eig.alpha**2 + eig.beta**2 == pytest.approx(eig.n)
+
+    def test_m_and_discriminant(self):
+        eig = eigenstructure(n=3.0, k=0.5)
+        assert eig.m == pytest.approx(1.5)
+        assert eig.discriminant == pytest.approx(1.5**2 - 12.0)
+
+    def test_rejects_nonpositive_inputs(self):
+        with pytest.raises(ValueError):
+            eigenstructure(0.0, 1.0)
+        with pytest.raises(ValueError):
+            eigenstructure(1.0, -1.0)
+
+    def test_real_eigenvalues_raises_for_focus(self):
+        with pytest.raises(ValueError):
+            eigenstructure(2.0, 1.0).real_eigenvalues
+
+    def test_natural_period(self):
+        eig = eigenstructure(2.0, 1.0)
+        assert eig.natural_period() == pytest.approx(2 * np.pi / eig.beta)
+        with pytest.raises(ValueError):
+            eigenstructure(8.0, 1.0).natural_period()
+
+    def test_atol_forces_degenerate(self):
+        eig = eigenstructure(n=4.0 + 1e-12, k=1.0, atol=1e-6)
+        assert eig.kind is FixedPointType.DEGENERATE_NODE
+
+
+class TestRegionCoefficients:
+    def test_characteristic_coefficients_per_region(self):
+        p = norm(a=2.0, b=0.02)
+        m_i, n_i = characteristic_coefficients(p, Region.INCREASE)
+        m_d, n_d = characteristic_coefficients(p, Region.DECREASE)
+        assert (m_i, n_i) == (pytest.approx(2.0), pytest.approx(2.0))
+        assert n_d == pytest.approx(2.0)  # b * C
+        assert m_d == pytest.approx(p.k * n_d)
+
+    def test_m_equals_k_times_n_structurally(self):
+        # eq. (35): the damping is always k*n in both regions.
+        for a, b, k in [(0.7, 0.01, 0.4), (9.0, 0.3, 0.2)]:
+            p = norm(a=a, b=b, k=k)
+            for region in Region:
+                m, n = characteristic_coefficients(p, region)
+                assert m == pytest.approx(k * n)
+
+    def test_region_eigenstructure_classification(self):
+        p = norm(a=2.0, b=0.08)  # increase focus, decrease node
+        assert region_eigenstructure(p, Region.INCREASE).kind is FixedPointType.FOCUS
+        assert region_eigenstructure(p, Region.DECREASE).kind is FixedPointType.NODE
+
+    def test_node_eigenvalues_steeper_than_switching_line(self):
+        # lambda_1 < lambda_2 < -1/k: the geometric fact behind the
+        # no-re-crossing property of node regions.
+        for n_val, k in [(8.0, 1.0), (5.0, 1.0), (100.0, 0.25)]:
+            eig = eigenstructure(n_val, k)
+            if eig.kind is FixedPointType.NODE:
+                lam1, lam2 = eig.real_eigenvalues
+                assert lam1 < lam2 < -1.0 / k

@@ -1,0 +1,96 @@
+"""Unit tests for the experiment framework itself (base + presets)."""
+
+import numpy as np
+import pytest
+
+from repro.core.phase_plane import PaperCase, classify_case
+from repro.experiments.base import ExperimentResult, get_experiment, register
+from repro.experiments.presets import (
+    CASE1,
+    CASE1_SLOW,
+    CASE2,
+    CASE3,
+    CASE4,
+    CASE5,
+    PAPER_PHYSICAL,
+    scale_free,
+)
+
+
+class TestPresets:
+    @pytest.mark.parametrize("preset,expected", [
+        (CASE1, PaperCase.CASE1),
+        (CASE2, PaperCase.CASE2),
+        (CASE3, PaperCase.CASE3),
+        (CASE4, PaperCase.CASE4),
+        (CASE5, PaperCase.CASE5),
+        (CASE1_SLOW, PaperCase.CASE1),
+    ])
+    def test_presets_classify_as_named(self, preset, expected):
+        assert classify_case(preset) is expected
+
+    def test_scale_free_threshold_is_four(self):
+        p = scale_free(2.0, 0.02)
+        assert p.focus_threshold == pytest.approx(4.0)
+
+    def test_paper_physical_is_the_worked_example(self):
+        assert PAPER_PHYSICAL.capacity == 10e9
+        assert PAPER_PHYSICAL.n_flows == 50
+
+
+class TestExperimentResult:
+    def make(self, **overrides):
+        base = dict(
+            experiment_id="demo",
+            title="A demo",
+            table_headers=["k", "v"],
+            table_rows=[["alpha", 1.5]],
+            verdicts={"holds": True},
+            notes=["a note"],
+        )
+        base.update(overrides)
+        return ExperimentResult(**base)
+
+    def test_passed_reflects_verdicts(self):
+        assert self.make().passed
+        failing = self.make(verdicts={"holds": True, "breaks": False})
+        assert not failing.passed
+        assert failing.failing_verdicts() == ["breaks"]
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "demo" in text
+        assert "alpha" in text
+        assert "[PASS] holds" in text
+        assert "note: a note" in text
+
+    def test_render_marks_failures(self):
+        text = self.make(verdicts={"breaks": False}).render()
+        assert "[FAIL] breaks" in text
+
+    def test_save_series_pads_ragged_columns(self, tmp_path):
+        result = self.make(series={
+            "long": np.arange(5.0),
+            "short": np.arange(2.0),
+        })
+        path = result.save_series(tmp_path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 6  # header + 5 rows
+        assert "nan" in lines[-1]
+
+    def test_save_series_none_without_series(self, tmp_path):
+        assert self.make().save_series(tmp_path) is None
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        @register("zz-test-experiment")
+        def run(**kwargs):
+            return ExperimentResult(experiment_id="zz", title="t")
+
+        assert get_experiment("zz-test-experiment") is run
+
+    def test_unknown_id_raises_with_catalog(self):
+        with pytest.raises(KeyError) as err:
+            get_experiment("nope")
+        assert "known" in str(err.value)

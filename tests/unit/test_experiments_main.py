@@ -1,0 +1,29 @@
+"""Unit tests for the experiments command-line runner."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestExperimentsMain:
+    def test_runs_selected_ids(self, capsys):
+        code = main(["fig4", "--no-plots"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig4" in out
+        assert "[PASS]" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        code = main(["fig5", "--no-plots", "--csv", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "fig5.csv").exists()
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            main(["not-an-experiment"])
+
+    def test_plots_rendered_by_default(self, capsys):
+        code = main(["fig4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "+---" in out  # ASCII figure frame

@@ -1,0 +1,106 @@
+"""Unit tests for the paper's extremum formulas (repro.core.extrema)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.eigen import eigenstructure
+from repro.core.extrema import (
+    degenerate_extremum_paper,
+    extremum_time,
+    extremum_x,
+    node_extremum_paper,
+    spiral_amplitude,
+    spiral_extremum_paper,
+    spiral_t_star,
+)
+from repro.core.trajectories import linear_trajectory
+
+FOCUS = eigenstructure(2.0, 1.0)
+NODE = eigenstructure(8.0, 1.0)
+DEGEN = eigenstructure(4.0, 1.0)
+
+
+class TestSpiralTStar:
+    @pytest.mark.parametrize("x0,y0", [
+        (-10.0, 0.001),   # paper's canonical quadrant (x0 y0 < 0 handled below)
+        (-10.0, 5.0),
+        (-3.0, -4.0),
+        (2.0, 6.0),
+        (5.0, -1.0),
+    ])
+    def test_t_star_zeroes_y(self, x0, y0):
+        t_star = spiral_t_star(FOCUS, x0, y0)
+        traj = linear_trajectory(FOCUS, x0, y0)
+        assert t_star >= 0
+        y_at = traj.state(t_star)[1]
+        scale = max(abs(x0), abs(y0))
+        assert abs(y_at) < 1e-9 * scale * max(1.0, FOCUS.beta)
+
+    def test_matches_robust_first_zero_in_canonical_quadrants(self):
+        # For starts with x0*y0 >= 0 the printed branch gives the first
+        # zero directly.
+        for x0, y0 in [(2.0, 6.0), (-3.0, -4.0)]:
+            t_paper = spiral_t_star(FOCUS, x0, y0)
+            t_robust = extremum_time(FOCUS, x0, y0)
+            assert t_paper == pytest.approx(t_robust, rel=1e-9)
+
+    def test_rejects_zero_x0(self):
+        with pytest.raises(ValueError):
+            spiral_t_star(FOCUS, 0.0, 1.0)
+
+    def test_rejects_node(self):
+        with pytest.raises(ValueError):
+            spiral_t_star(NODE, 1.0, 1.0)
+
+
+class TestSpiralExtremum:
+    def test_amplitude_formula(self):
+        a, b = FOCUS.alpha, FOCUS.beta
+        x0, y0 = -4.0, 3.0
+        expected = math.sqrt((a * a + b * b) * x0 * x0 - 2 * a * x0 * y0
+                             + y0 * y0) / b
+        assert spiral_amplitude(FOCUS, x0, y0) == pytest.approx(expected)
+
+    def test_amplitude_rejects_node(self):
+        with pytest.raises(ValueError):
+            spiral_amplitude(NODE, 1.0, 1.0)
+
+    @pytest.mark.parametrize("x0,y0", [(2.0, 6.0), (-3.0, -4.0), (-1.0, 2.0)])
+    def test_paper_extremum_matches_robust(self, x0, y0):
+        paper = spiral_extremum_paper(FOCUS, x0, y0)
+        robust = extremum_x(FOCUS, x0, y0)
+        assert paper == pytest.approx(robust, rel=1e-9)
+
+    def test_sign_rule(self):
+        assert spiral_extremum_paper(FOCUS, -1.0, 2.0) > 0  # y0 > 0: max
+        assert spiral_extremum_paper(FOCUS, 1.0, -2.0) < 0  # y0 < 0: min
+
+    def test_rejects_zero_y0(self):
+        with pytest.raises(ValueError):
+            spiral_extremum_paper(FOCUS, 1.0, 0.0)
+
+
+class TestGenericHelpers:
+    def test_extremum_x_is_true_extremum_numerically(self):
+        for eig, x0, y0 in [(FOCUS, -4.0, 3.0), (NODE, -6.0, 45.0),
+                            (DEGEN, -4.0, 20.0)]:
+            value = extremum_x(eig, x0, y0)
+            traj = linear_trajectory(eig, x0, y0)
+            t_star = extremum_time(eig, x0, y0)
+            ts = np.linspace(max(0.0, t_star * 0.5), t_star * 1.5, 2001)
+            xs = traj.states(ts)[:, 0]
+            assert value == pytest.approx(
+                float(xs.max() if y0 > 0 else xs.min()), rel=1e-6)
+
+    def test_extremum_none_for_monotone(self):
+        l1, l2 = NODE.real_eigenvalues
+        assert extremum_x(NODE, 1.0, l2 * 1.0) is None
+        assert extremum_time(NODE, 1.0, l2 * 1.0) is None
+
+    def test_node_and_degenerate_paper_wrappers(self):
+        assert node_extremum_paper(NODE, -6.0, 45.0) == pytest.approx(
+            extremum_x(NODE, -6.0, 45.0), rel=1e-9)
+        assert degenerate_extremum_paper(DEGEN, -4.0, 20.0) == pytest.approx(
+            extremum_x(DEGEN, -4.0, 20.0), rel=1e-9)

@@ -1,0 +1,154 @@
+"""Unit tests for the fluid substrate (repro.fluid)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import NormalizedParams, paper_example_params
+from repro.core.phase_plane import PhasePlaneAnalyzer
+from repro.fluid.integrate import simulate_fluid
+from repro.fluid.model import (
+    decrease_field,
+    full_field,
+    increase_field,
+    linearized_decrease_field,
+    pinned_empty_field,
+    pinned_full_field,
+)
+
+
+def norm(a=2.0, b=0.02, k=0.1, q0=10.0, buffer_size=200.0):
+    return NormalizedParams(a=a, b=b, k=k, capacity=100.0, q0=q0,
+                            buffer_size=buffer_size)
+
+
+class TestVectorFields:
+    def test_increase_field_values(self):
+        p = norm()
+        f = increase_field(p)
+        dx, dy = f(0.0, np.array([-5.0, 2.0]))
+        assert dx == 2.0
+        assert dy == pytest.approx(-p.a * (-5.0 + p.k * 2.0))
+
+    def test_decrease_field_nonlinearity(self):
+        p = norm()
+        f = decrease_field(p)
+        _, dy = f(0.0, np.array([5.0, 2.0]))
+        assert dy == pytest.approx(-p.b * (2.0 + p.capacity) * (5.0 + p.k * 2.0))
+
+    def test_linearized_decrease_drops_y_factor(self):
+        p = norm()
+        f = linearized_decrease_field(p)
+        _, dy = f(0.0, np.array([5.0, 2.0]))
+        assert dy == pytest.approx(-p.b * p.capacity * 5.0
+                                   - p.b * p.k * p.capacity * 2.0)
+
+    def test_linearizations_agree_at_small_y(self):
+        p = norm()
+        nl = decrease_field(p)
+        lin = linearized_decrease_field(p)
+        state = np.array([3.0, 1e-6])
+        assert nl(0.0, state)[1] == pytest.approx(lin(0.0, state)[1], rel=1e-6)
+
+    def test_full_field_switches_by_sigma(self):
+        p = norm()
+        f = full_field(p)
+        inc = increase_field(p)
+        dec = decrease_field(p)
+        left = np.array([-5.0, 0.0])
+        right = np.array([5.0, 0.0])
+        assert f(0.0, left) == inc(0.0, left)
+        assert f(0.0, right) == dec(0.0, right)
+
+    def test_pinned_fields(self):
+        p = norm()
+        full = pinned_full_field(p)
+        (dy,) = full(0.0, np.array([3.0]))
+        assert dy == pytest.approx(
+            -p.b * (3.0 + p.capacity) * (p.buffer_size - p.q0))
+        empty = pinned_empty_field(p)
+        (dy,) = empty(0.0, np.array([-40.0]))
+        assert dy == pytest.approx(p.a * p.q0)  # warm-up law
+
+    def test_accepts_physical_params(self):
+        f = increase_field(paper_example_params())
+        dx, dy = f(0.0, np.array([0.0, 0.0]))
+        assert (dx, dy) == (0.0, 0.0)
+
+
+class TestIntegration:
+    def test_linearized_matches_closed_form(self):
+        p = norm(k=1.0, buffer_size=1e9)
+        composed = PhasePlaneAnalyzer(p).compose(max_switches=8)
+        horizon = composed.switch_states[-1][0]
+        fluid = simulate_fluid(p, t_max=horizon, mode="linearized",
+                               max_switches=20)
+        ct = [t for t, _, _ in composed.switch_states]
+        ft = fluid.switch_times
+        assert len(ft) >= len(ct) - 1
+        for c, f in zip(ct, ft):
+            assert f == pytest.approx(c, abs=1e-4)
+
+    def test_extrema_events_recorded(self):
+        p = norm(k=1.0, buffer_size=1e9)
+        fluid = simulate_fluid(p, t_max=20.0, mode="linearized",
+                               max_switches=20)
+        assert len(fluid.extrema) >= 2
+        # each recorded extremum has y ~ 0
+        for e in fluid.events:
+            if e.kind == "extremum":
+                assert abs(e.y) < 1e-5 * p.capacity
+
+    def test_nonlinear_converges_case1(self):
+        fluid = simulate_fluid(norm(), t_max=200.0, mode="nonlinear",
+                               max_switches=500)
+        assert fluid.converged
+
+    def test_nonlinear_peak_below_linearized(self):
+        p = norm(k=0.05, buffer_size=1e9)
+        lin = simulate_fluid(p, t_max=30.0, mode="linearized", max_switches=60)
+        non = simulate_fluid(p, t_max=30.0, mode="nonlinear", max_switches=60)
+        assert non.max_x() <= lin.max_x() * (1 + 1e-6)
+
+    def test_physical_pins_at_buffer(self):
+        p = norm(k=0.01, buffer_size=14.0)  # peak would exceed B - q0 = 4
+        fluid = simulate_fluid(p, t_max=100.0, mode="physical",
+                               max_switches=500)
+        assert fluid.hit_buffer_full()
+        assert fluid.max_x() <= p.buffer_size - p.q0 + 1e-6
+
+    def test_physical_warmup_start(self):
+        p = norm()
+        fluid = simulate_fluid(p, x0=-p.q0, y0=-50.0, t_max=300.0,
+                               mode="physical", max_switches=400)
+        # Pinned-empty start: x stays at -q0 while y climbs linearly
+        # for T0 = 50 / (a q0) seconds (the warm-up law).
+        t0 = 50.0 / (p.a * p.q0)
+        early = fluid.t < t0 * 0.5
+        assert np.allclose(fluid.x[early], -p.q0)
+        assert fluid.converged
+
+    def test_queue_and_rate_units(self):
+        p = norm()
+        fluid = simulate_fluid(p, t_max=5.0, max_switches=50)
+        assert fluid.queue()[0] == pytest.approx(0.0)
+        assert fluid.aggregate_rate()[0] == pytest.approx(p.capacity)
+
+    def test_strongly_stable_helper(self):
+        assert simulate_fluid(norm(), t_max=200.0, max_switches=500,
+                              mode="physical").strongly_stable()
+        tight = norm(k=0.01, buffer_size=14.0)
+        assert not simulate_fluid(tight, t_max=100.0, max_switches=500,
+                                  mode="physical").strongly_stable()
+
+    def test_max_switch_cap(self):
+        p = norm(k=0.001)  # contraction ~ 0.996: many rounds needed
+        fluid = simulate_fluid(p, t_max=1e9, mode="linearized",
+                               max_switches=10)
+        assert fluid.end_reason == "max_switches"
+
+    def test_events_sorted(self):
+        fluid = simulate_fluid(norm(), t_max=30.0, max_switches=100)
+        times = [e.time for e in fluid.events]
+        assert times == sorted(times)

@@ -1,0 +1,94 @@
+"""Unit tests for repro.core.limit_cycle (Poincaré return map)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.limit_cycle import (
+    amplitude_scan,
+    contraction_ratio,
+    find_limit_cycle,
+    linearized_contraction,
+    return_map,
+)
+from repro.core.parameters import NormalizedParams
+
+
+def norm(a=2.0, b=0.02, k=0.1):
+    return NormalizedParams(a=a, b=b, k=k, capacity=100.0, q0=10.0,
+                            buffer_size=1e9)
+
+
+class TestLinearizedContraction:
+    def test_closed_form(self):
+        p = norm()
+        a, bc, k = p.a, p.b * p.capacity, p.k
+        alpha_i, beta_i = -a * k / 2, math.sqrt(a - (a * k / 2) ** 2)
+        alpha_d, beta_d = -bc * k / 2, math.sqrt(bc - (bc * k / 2) ** 2)
+        expected = math.exp(math.pi * (alpha_i / beta_i + alpha_d / beta_d))
+        assert linearized_contraction(p) == pytest.approx(expected)
+
+    def test_below_one(self):
+        for k in (0.5, 0.1, 0.01):
+            assert 0 < linearized_contraction(norm(k=k)) < 1
+
+    def test_monotone_in_k(self):
+        rhos = [linearized_contraction(norm(k=k)) for k in (0.5, 0.1, 0.01)]
+        assert rhos[0] < rhos[1] < rhos[2]
+
+    def test_rejects_node_cases(self):
+        with pytest.raises(ValueError):
+            linearized_contraction(norm(a=8.0, k=1.0))
+
+
+class TestReturnMap:
+    def test_linearized_map_is_linear(self):
+        p = norm()
+        rho = linearized_contraction(p)
+        for y in (1.0, 10.0, 50.0):
+            assert return_map(p, y, mode="linearized") == pytest.approx(
+                rho * y, rel=1e-6)
+
+    def test_nonlinear_contracts_at_least_as_much(self):
+        p = norm()
+        rho = linearized_contraction(p)
+        for y in (5.0, 30.0, 80.0):
+            assert contraction_ratio(p, y) <= rho * (1 + 1e-6)
+
+    def test_returns_to_upper_half_line(self):
+        p = norm()
+        y2, period, orbit = return_map(p, 20.0, with_orbit=True)
+        assert y2 > 0
+        assert period > 0
+        # orbit starts on the line and is time-ordered
+        assert orbit[0, 1] + p.k * orbit[0, 2] == pytest.approx(
+            0.0, abs=1e-6 * 20.0)
+        assert np.all(np.diff(orbit[:, 0]) >= 0)
+
+    def test_rejects_bad_ordinates(self):
+        p = norm()
+        with pytest.raises(ValueError):
+            return_map(p, -1.0)
+        with pytest.raises(ValueError):
+            return_map(p, 150.0)  # above capacity in nonlinear mode
+
+    def test_linearized_allows_large_ordinates(self):
+        p = norm()
+        assert return_map(p, 150.0, mode="linearized") > 0
+
+    def test_rejects_node_region_cases(self):
+        with pytest.raises(ValueError):
+            return_map(norm(a=8.0, k=1.0), 1.0)
+
+
+class TestSearch:
+    def test_no_cycle_for_generic_parameters(self):
+        assert find_limit_cycle(norm()) is None
+
+    def test_amplitude_scan_shape_and_values(self):
+        p = norm()
+        scan = amplitude_scan(p, np.array([1.0, 10.0, 40.0]))
+        assert scan.shape == (3, 2)
+        assert np.all(scan[:, 1] < 1.0)
+        assert np.all(scan[:, 0] == [1.0, 10.0, 40.0])

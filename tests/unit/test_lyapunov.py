@@ -1,0 +1,143 @@
+"""Unit tests for the Lyapunov/energy analysis (repro.core.lyapunov)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.lyapunov import (
+    crossing_energy_ratio,
+    decrease_energy,
+    decrease_energy_rate,
+    energy_along,
+    increase_energy,
+    increase_energy_rate,
+)
+from repro.core.parameters import NormalizedParams
+from repro.fluid.model import decrease_field, increase_field
+
+
+def norm(k=0.1):
+    return NormalizedParams(a=2.0, b=0.02, k=k, capacity=100.0, q0=10.0,
+                            buffer_size=1e9)
+
+
+STATES = [(3.0, 4.0), (-5.0, 2.0), (1.0, -8.0), (-2.0, -0.5)]
+
+
+class TestEnergies:
+    def test_positive_definite(self):
+        p = norm()
+        for x, y in STATES:
+            assert increase_energy(p, x, y) > 0
+            assert decrease_energy(p, x, y) > 0
+        assert increase_energy(p, 0.0, 0.0) == 0.0
+        assert decrease_energy(p, 0.0, 0.0) == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("x,y", STATES)
+    def test_increase_rate_matches_chain_rule(self, x, y):
+        p = norm()
+        field = increase_field(p)
+        h = 1e-7
+        dx, dy = field(0.0, np.array([x, y]))
+        numeric = (
+            increase_energy(p, x + h * dx, y + h * dy)
+            - increase_energy(p, x - h * dx, y - h * dy)
+        ) / (2 * h)
+        assert numeric == pytest.approx(increase_energy_rate(p, x, y),
+                                        abs=1e-5)
+
+    @pytest.mark.parametrize("x,y", STATES)
+    def test_decrease_rate_matches_chain_rule(self, x, y):
+        p = norm()
+        field = decrease_field(p)
+        h = 1e-7
+        dx, dy = field(0.0, np.array([x, y]))
+        numeric = (
+            decrease_energy(p, x + h * dx, y + h * dy)
+            - decrease_energy(p, x - h * dx, y - h * dy)
+        ) / (2 * h)
+        assert numeric == pytest.approx(decrease_energy_rate(p, x, y),
+                                        abs=1e-5)
+
+    def test_all_dissipation_through_k(self):
+        """dV/dt = -(gain) k y^2 in both regions: zero at k -> 0."""
+        for x, y in STATES:
+            assert increase_energy_rate(norm(k=0.1), x, y) <= 0
+            assert decrease_energy_rate(norm(k=0.1), x, y) <= 0
+            # scaled linearly by k
+            r1 = increase_energy_rate(norm(k=0.1), x, y)
+            r2 = increase_energy_rate(norm(k=0.2), x, y)
+            assert r2 == pytest.approx(2.0 * r1)
+
+    def test_decrease_energy_domain(self):
+        with pytest.raises(ValueError):
+            decrease_energy(norm(), 0.0, -100.0)
+
+    def test_energy_along_matches_pointwise(self):
+        p = norm()
+        xs = np.array([x for x, _ in STATES])
+        ys = np.array([y for _, y in STATES])
+        vi = energy_along(p, xs, ys, region="increase")
+        vd = energy_along(p, xs, ys, region="decrease")
+        for i, (x, y) in enumerate(STATES):
+            assert vi[i] == pytest.approx(increase_energy(p, x, y))
+            assert vd[i] == pytest.approx(decrease_energy(p, x, y))
+        with pytest.raises(ValueError):
+            energy_along(p, xs, ys, region="bogus")
+
+
+class TestConservationAndDecay:
+    def test_energy_decays_along_simulated_trajectory(self):
+        from repro.fluid.integrate import simulate_fluid
+
+        p = norm()
+        traj = simulate_fluid(p, x0=-p.q0, y0=0.0, t_max=5.0,
+                              mode="nonlinear", max_switches=10)
+        # within the first increase segment, V_i is non-increasing
+        s = traj.x + p.k * traj.y
+        inc = s < 0
+        vi = energy_along(p, traj.x[inc], traj.y[inc], region="increase")
+        assert np.all(np.diff(vi) <= 1e-6 * vi[0])
+
+    def test_undamped_energy_conserved(self):
+        from repro.fluid.integrate import simulate_fluid
+
+        p = norm(k=1e-9)
+        traj = simulate_fluid(p, x0=-8.0, y0=0.0, t_max=3.0,
+                              mode="nonlinear", max_switches=4)
+        s = traj.x + p.k * traj.y
+        inc = s < 0
+        vi = energy_along(p, traj.x[inc], traj.y[inc], region="increase")
+        assert np.ptp(vi) < 1e-5 * vi[0]
+
+
+class TestCrossingRatio:
+    def test_strictly_below_one(self):
+        p = norm()
+        for y in (1.0, 11.3, 50.0, 90.0):
+            assert crossing_energy_ratio(p, y) < 1.0
+
+    def test_approaches_one_for_small_amplitude(self):
+        p = norm()
+        assert crossing_energy_ratio(p, 0.01) == pytest.approx(1.0, abs=1e-3)
+
+    def test_matches_direct_integration(self):
+        """The energy-level prediction equals the simulated exit ordinate."""
+        from repro.fluid.integrate import simulate_fluid
+
+        p = norm(k=1e-9)
+        y_enter = 11.3
+        traj = simulate_fluid(p, x0=0.0, y0=y_enter, t_max=10.0,
+                              mode="nonlinear", max_switches=1)
+        switches = [e for e in traj.events if e.kind == "switch"]
+        assert switches
+        y_exit = -switches[0].y
+        predicted = crossing_energy_ratio(p, y_enter) * y_enter
+        assert y_exit == pytest.approx(predicted, rel=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            crossing_energy_ratio(norm(), 0.0)
+        with pytest.raises(ValueError):
+            crossing_energy_ratio(norm(), 200.0)

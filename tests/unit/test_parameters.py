@@ -1,0 +1,163 @@
+"""Unit tests for repro.core.parameters."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import (
+    PAPER_EXAMPLE,
+    BCNParams,
+    NormalizedParams,
+    paper_example_params,
+)
+
+
+def make(**overrides):
+    defaults = dict(capacity=1e9, n_flows=10, q0=1e6, buffer_size=8e6)
+    defaults.update(overrides)
+    return BCNParams(**defaults)
+
+
+class TestBCNParamsValidation:
+    def test_accepts_reasonable_configuration(self):
+        params = make()
+        assert params.capacity == 1e9
+        assert params.fair_rate == 1e8
+
+    @pytest.mark.parametrize("field,value", [
+        ("capacity", 0.0),
+        ("capacity", -1.0),
+        ("capacity", math.nan),
+        ("q0", 0.0),
+        ("buffer_size", -5.0),
+        ("w", 0.0),
+        ("gi", 0.0),
+        ("gd", -0.1),
+        ("ru", 0.0),
+    ])
+    def test_rejects_nonpositive_fields(self, field, value):
+        with pytest.raises(ValueError):
+            make(**{field: value})
+
+    @pytest.mark.parametrize("pm", [0.0, -0.1, 1.5])
+    def test_rejects_bad_sampling_probability(self, pm):
+        with pytest.raises(ValueError):
+            make(pm=pm)
+
+    def test_rejects_zero_flows(self):
+        with pytest.raises(ValueError):
+            make(n_flows=0)
+
+    def test_rejects_q0_at_or_above_buffer(self):
+        with pytest.raises(ValueError):
+            make(q0=8e6, buffer_size=8e6)
+
+    def test_rejects_q_sc_outside_range(self):
+        with pytest.raises(ValueError):
+            make(q_sc=0.5e6)  # below q0
+        with pytest.raises(ValueError):
+            make(q_sc=9e6)  # above buffer
+
+    def test_q_sc_at_buffer_is_allowed(self):
+        params = make(q_sc=8e6 * 0.999)
+        assert params.q_sc == pytest.approx(8e6 * 0.999)
+
+    def test_rejects_initial_rate_at_capacity(self):
+        with pytest.raises(ValueError):
+            make(initial_rate=1e8)  # N * mu == C
+
+    def test_severe_threshold_defaults_to_buffer(self):
+        assert make().severe_threshold == 8e6
+        assert make(q_sc=4e6).severe_threshold == 4e6
+
+
+class TestDerivedQuantities:
+    def test_normalization_formulas(self):
+        params = make(w=2.0, pm=0.01, gi=4.0, gd=1 / 128, ru=8e6)
+        n = params.normalized()
+        assert n.a == pytest.approx(8e6 * 4.0 * 10)
+        assert n.b == pytest.approx(1 / 128)
+        assert n.k == pytest.approx(2.0 / (0.01 * 1e9))
+        assert n.capacity == params.capacity
+        assert n.q0 == params.q0
+        assert n.buffer_size == params.buffer_size
+
+    def test_with_replaces_fields(self):
+        params = make()
+        changed = params.with_(n_flows=20)
+        assert changed.n_flows == 20
+        assert changed.capacity == params.capacity
+        assert params.n_flows == 10  # original untouched
+
+    def test_warmup_duration_formula(self):
+        params = make(initial_rate=5e7)  # aggregate 5e8 of 1e9
+        a = params.ru * params.gi * params.n_flows
+        expected = (1e9 - 10 * 5e7) / (a * params.q0)
+        assert params.warmup_duration() == pytest.approx(expected)
+
+    def test_warmup_shrinks_with_larger_q0(self):
+        slow = make(q0=0.5e6).warmup_duration()
+        fast = make(q0=2e6).warmup_duration()
+        assert fast < slow
+
+
+class TestNormalizedParams:
+    def test_focus_threshold(self):
+        n = NormalizedParams(a=1.0, b=0.01, k=2.0, capacity=100.0, q0=10.0,
+                             buffer_size=50.0)
+        assert n.focus_threshold == pytest.approx(1.0)
+        assert n.n_increase == 1.0
+        assert n.n_decrease == pytest.approx(1.0)
+
+    def test_focus_flags(self):
+        n = NormalizedParams(a=2.0, b=0.08, k=1.0, capacity=100.0, q0=10.0,
+                             buffer_size=50.0)
+        assert n.increase_is_focus  # 2 < 4
+        assert not n.decrease_is_focus  # 8 > 4
+
+    def test_sigma_sign_convention(self):
+        n = NormalizedParams(a=1.0, b=0.01, k=1.0, capacity=100.0, q0=10.0,
+                             buffer_size=50.0)
+        assert n.sigma(-5.0, 0.0) > 0  # queue below reference -> increase
+        assert n.sigma(5.0, 0.0) < 0
+        assert n.sigma(-2.0, 2.0) == 0.0  # on the switching line
+
+    def test_rejects_buffer_below_q0(self):
+        with pytest.raises(ValueError):
+            NormalizedParams(a=1.0, b=0.01, k=1.0, capacity=100.0, q0=10.0,
+                             buffer_size=9.0)
+
+    def test_to_physical_round_trip(self):
+        n = NormalizedParams(a=1.6e9, b=1 / 128, k=2e-8, capacity=10e9,
+                             q0=2.5e6, buffer_size=20e6)
+        physical = n.to_physical(n_flows=50, w=2.0)
+        back = physical.normalized()
+        assert back.a == pytest.approx(n.a)
+        assert back.b == pytest.approx(n.b)
+        assert back.k == pytest.approx(n.k)
+
+    def test_to_physical_rejects_invalid_pm(self):
+        n = NormalizedParams(a=1.0, b=0.01, k=1e-12, capacity=1.0, q0=0.5,
+                             buffer_size=5.0)
+        with pytest.raises(ValueError):
+            n.to_physical(w=10.0)
+
+
+class TestPaperExample:
+    def test_values_match_section_iv(self):
+        p = PAPER_EXAMPLE
+        assert p.capacity == 10e9
+        assert p.n_flows == 50
+        assert p.q0 == 2.5e6
+        assert p.gi == 4.0
+        assert p.gd == pytest.approx(1 / 128)
+        assert p.ru == 8e6
+
+    def test_helper_applies_overrides(self):
+        assert paper_example_params() is PAPER_EXAMPLE
+        assert paper_example_params(n_flows=10).n_flows == 10
+
+    def test_paper_sqrt_factor(self):
+        n = PAPER_EXAMPLE.normalized()
+        factor = math.sqrt(n.a / (n.b * n.capacity))
+        assert factor == pytest.approx(4.5255, abs=1e-4)

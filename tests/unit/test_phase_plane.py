@@ -1,0 +1,185 @@
+"""Unit tests for repro.core.phase_plane (composer + taxonomy)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.eigen import Region
+from repro.core.parameters import NormalizedParams
+from repro.core.phase_plane import (
+    PaperCase,
+    PhasePlaneAnalyzer,
+    WarmupSegment,
+    classify_case,
+)
+
+
+def norm(a, b, k=1.0, q0=10.0, buffer_size=100.0):
+    return NormalizedParams(a=a, b=b, k=k, capacity=100.0, q0=q0,
+                            buffer_size=buffer_size)
+
+
+CASE_TABLE = [
+    (2.0, 0.02, PaperCase.CASE1),
+    (8.0, 0.02, PaperCase.CASE2),
+    (2.0, 0.08, PaperCase.CASE3),
+    (8.0, 0.08, PaperCase.CASE4),
+    (4.0, 0.02, PaperCase.CASE5),  # a at the threshold
+    (2.0, 0.04, PaperCase.CASE5),  # bC at the threshold
+]
+
+
+class TestClassification:
+    @pytest.mark.parametrize("a,b,expected", CASE_TABLE)
+    def test_six_case_table(self, a, b, expected):
+        assert classify_case(norm(a, b)) is expected
+
+    def test_analyzer_exposes_case(self):
+        assert PhasePlaneAnalyzer(norm(2.0, 0.02)).case is PaperCase.CASE1
+
+    def test_analyzer_accepts_physical_params(self):
+        from repro.core.parameters import paper_example_params
+
+        analyzer = PhasePlaneAnalyzer(paper_example_params())
+        assert analyzer.case is PaperCase.CASE1
+
+    def test_region_of_resolves_flow_on_line(self):
+        analyzer = PhasePlaneAnalyzer(norm(2.0, 0.02))
+        assert analyzer.region_of(-1.0, 1.0) is Region.DECREASE  # on line, y>0
+        assert analyzer.region_of(1.0, -1.0) is Region.INCREASE
+
+
+class TestComposition:
+    def test_segments_are_continuous(self):
+        analyzer = PhasePlaneAnalyzer(norm(2.0, 0.02))
+        traj = analyzer.compose(max_switches=10)
+        for prev, nxt in zip(traj.segments, traj.segments[1:]):
+            end = prev.end_state()
+            start = nxt.start_state
+            assert end[0] == pytest.approx(start[0], abs=1e-9)
+            assert end[1] == pytest.approx(start[1], abs=1e-9)
+            assert nxt.t_start == pytest.approx(prev.t_end)
+
+    def test_regions_alternate(self):
+        traj = PhasePlaneAnalyzer(norm(2.0, 0.02)).compose(max_switches=10)
+        regions = [seg.region for seg in traj.segments]
+        assert all(r1 is not r2 for r1, r2 in zip(regions, regions[1:]))
+
+    def test_switch_states_lie_on_line(self):
+        p = norm(2.0, 0.02)
+        traj = PhasePlaneAnalyzer(p).compose(max_switches=10)
+        assert traj.n_switches > 0
+        for _, x, y in traj.switch_states:
+            assert x + p.k * y == pytest.approx(0.0, abs=1e-6 * (abs(x) + 1))
+
+    def test_starts_at_canonical_point(self):
+        p = norm(2.0, 0.02)
+        traj = PhasePlaneAnalyzer(p).compose()
+        assert traj.segments[0].start_state == (pytest.approx(-p.q0), 0.0)
+        assert traj.segments[0].region is Region.INCREASE
+
+    def test_case1_converges(self):
+        traj = PhasePlaneAnalyzer(norm(2.0, 0.02)).compose(max_switches=100)
+        assert traj.converged
+        assert traj.end_reason == "converged"
+
+    def test_case3_single_switch_then_final(self):
+        traj = PhasePlaneAnalyzer(norm(2.0, 0.08)).compose(max_switches=10)
+        assert traj.n_switches == 1
+        assert math.isinf(traj.segments[-1].duration)
+
+    def test_max_min_match_dense_sampling(self):
+        p = norm(2.0, 0.02, k=0.1, buffer_size=1e9)
+        traj = PhasePlaneAnalyzer(p).compose(max_switches=30)
+        samples = traj.sample(2000)
+        assert traj.max_x() == pytest.approx(float(samples[:, 1].max()),
+                                             rel=1e-4)
+        assert traj.min_x() == pytest.approx(float(samples[:, 1].min()),
+                                             rel=1e-4)
+
+    def test_extrema_recorded_with_alternating_signs(self):
+        p = norm(2.0, 0.02, k=0.1, buffer_size=1e9)
+        traj = PhasePlaneAnalyzer(p).compose(max_switches=12)
+        signs = [np.sign(x) for _, x in traj.extrema]
+        assert len(signs) >= 4
+        assert all(s1 != s2 for s1, s2 in zip(signs, signs[1:]))
+
+    def test_min_x_after_start_excludes_initial_point(self):
+        p = norm(2.0, 0.08)  # Case 3: never returns to -q0
+        traj = PhasePlaneAnalyzer(p).compose(max_switches=10)
+        assert traj.min_x() == pytest.approx(-p.q0)  # the start itself
+        assert traj.min_x_after_start() > -p.q0
+
+    def test_time_limit_respected(self):
+        p = norm(2.0, 0.02, k=0.01)
+        traj = PhasePlaneAnalyzer(p).compose(max_switches=1000, t_max=1.0)
+        assert traj.total_duration <= 1.0 + 1e-9
+        assert traj.end_reason in ("time_limit", "converged")
+
+    def test_amplitude_trend_below_one_for_case1(self):
+        p = norm(2.0, 0.02, k=0.1, buffer_size=1e9)
+        traj = PhasePlaneAnalyzer(p).compose(max_switches=20)
+        trend = traj.amplitude_trend()
+        assert trend is not None
+        assert 0 < trend < 1
+
+    def test_overflow_detection(self):
+        p = norm(2.0, 0.02, k=0.01, q0=10.0, buffer_size=12.0)
+        traj = PhasePlaneAnalyzer(p).compose(max_switches=10)
+        assert traj.overflows()
+
+    def test_queue_series_units(self):
+        p = norm(2.0, 0.02)
+        traj = PhasePlaneAnalyzer(p).compose(max_switches=6)
+        t, q, rate = traj.queue_time_series(50)
+        assert q[0] == pytest.approx(0.0)  # starts empty
+        assert rate[0] == pytest.approx(p.capacity)
+        assert np.all(np.diff(t) >= -1e-12)
+
+
+class TestWarmup:
+    def test_warmup_segment_math(self):
+        seg = WarmupSegment(t_start=0.0, y_start=-50.0, a=2.0, q0=10.0)
+        assert seg.duration == pytest.approx(50.0 / 20.0)
+        x, y = seg.state(seg.duration)
+        assert (x, y) == (pytest.approx(-10.0), pytest.approx(0.0))
+
+    def test_compose_with_warmup(self):
+        p = norm(2.0, 0.02)
+        traj = PhasePlaneAnalyzer(p).compose(
+            include_warmup=True, initial_rate_offset=-50.0, max_switches=10)
+        assert traj.warmup is not None
+        assert traj.warmup.duration == pytest.approx(50.0 / (p.a * p.q0))
+        # first real segment starts when warm-up ends
+        assert traj.segments[0].t_start == pytest.approx(traj.warmup.duration)
+        samples = traj.sample(50)
+        assert samples[0, 1] == pytest.approx(-p.q0)
+        assert samples[0, 2] == pytest.approx(-50.0)
+
+    def test_warmup_conflicts_with_explicit_start(self):
+        with pytest.raises(ValueError):
+            PhasePlaneAnalyzer(norm(2.0, 0.02)).compose(
+                x0=0.0, include_warmup=True)
+
+    def test_warmup_requires_deficit_rate(self):
+        with pytest.raises(ValueError):
+            PhasePlaneAnalyzer(norm(2.0, 0.02)).compose(
+                include_warmup=True, initial_rate_offset=5.0)
+
+
+class TestDiagnostics:
+    def test_first_round_peak_positive_for_case1(self):
+        analyzer = PhasePlaneAnalyzer(norm(2.0, 0.02, k=0.1, buffer_size=1e9))
+        assert analyzer.first_round_peak() > 0
+
+    def test_first_round_trough_negative(self):
+        analyzer = PhasePlaneAnalyzer(norm(2.0, 0.02, k=0.1, buffer_size=1e9))
+        assert analyzer.first_round_trough() < 0
+
+    def test_switching_ordinates_alternate_and_decay(self):
+        analyzer = PhasePlaneAnalyzer(norm(2.0, 0.02, k=0.1, buffer_size=1e9))
+        ys = analyzer.switching_ordinates(n_rounds=5)
+        assert len(ys) >= 6
+        assert all(y1 * y2 < 0 for y1, y2 in zip(ys, ys[1:]))
+        assert abs(ys[2]) < abs(ys[0])

@@ -1,0 +1,98 @@
+"""Unit tests for repro.core.phase_portrait."""
+
+import numpy as np
+import pytest
+
+from repro.core.phase_portrait import (
+    PhasePortrait,
+    phase_portrait,
+    vector_field_grid,
+)
+from repro.experiments.presets import CASE1_SLOW, CASE3
+from repro.fluid.model import decrease_field, increase_field
+
+
+class TestVectorFieldGrid:
+    def test_grid_shape_and_normalisation(self):
+        grid = vector_field_grid(CASE1_SLOW, x_range=(-10, 10),
+                                 y_range=(-20, 20), nx=8, ny=6)
+        assert grid.shape == (6, 8)
+        speed = np.hypot(grid.u, grid.v)
+        nonzero = grid.magnitude > 0
+        assert np.allclose(speed[nonzero], 1.0)
+
+    def test_field_matches_region_laws(self):
+        p = CASE1_SLOW
+        grid = vector_field_grid(p, x_range=(-10, 10), y_range=(-20, 20),
+                                 nx=9, ny=9)
+        inc = increase_field(p)
+        dec = decrease_field(p)
+        for i in range(9):
+            for j in range(9):
+                x, y = grid.x[i, j], grid.y[i, j]
+                field = inc if x + p.k * y < 0 else dec
+                du, dv = field(0.0, np.array([x, y]))
+                mag = np.hypot(du, dv)
+                if mag > 0:
+                    assert grid.u[i, j] == pytest.approx(du / mag)
+                    assert grid.v[i, j] == pytest.approx(dv / mag)
+
+    def test_dx_dt_is_y_direction(self):
+        grid = vector_field_grid(CASE1_SLOW, x_range=(-10, 10),
+                                 y_range=(-20, 20), nx=5, ny=5)
+        # sign(u) == sign(y) wherever speed > 0 (since dx/dt = y)
+        nz = grid.magnitude > 0
+        assert np.all(np.sign(grid.u[nz]) == np.sign(grid.y[nz]))
+
+
+class TestPhasePortrait:
+    def test_default_start_family(self):
+        portrait = phase_portrait(CASE1_SLOW)
+        assert len(portrait.orbits) == 7
+        for orbit in portrait.orbits:
+            assert orbit.ndim == 2 and orbit.shape[1] == 2
+            assert np.isfinite(orbit).all()
+
+    def test_orbits_start_where_asked(self):
+        starts = [(-5.0, 0.0), (2.0, 3.0)]
+        portrait = phase_portrait(CASE1_SLOW, starts=starts)
+        for (x0, y0), orbit in zip(starts, portrait.orbits):
+            assert orbit[0, 0] == pytest.approx(x0)
+            assert orbit[0, 1] == pytest.approx(y0)
+
+    def test_orbits_shrink_towards_origin(self):
+        portrait = phase_portrait(CASE1_SLOW, max_switches=40)
+        for orbit in portrait.orbits:
+            start_r = np.hypot(*orbit[0])
+            end_r = np.hypot(*orbit[-1])
+            assert end_r < start_r + 1e-9
+
+    def test_case3_portrait_never_overshoots(self):
+        portrait = phase_portrait(CASE3, starts=[(-CASE3.q0, 0.0)])
+        assert portrait.orbits[0][:, 0].max() <= 1e-9 * CASE3.q0
+
+    def test_ascii_rendering(self):
+        portrait = phase_portrait(CASE1_SLOW)
+        art = portrait.to_ascii(title="portrait", height=12)
+        assert "portrait" in art
+        assert ":" in art  # switching line
+
+    def test_csv_columns(self):
+        portrait = phase_portrait(CASE1_SLOW, starts=[(-5.0, 0.0)])
+        cols = portrait.to_csv_columns()
+        assert set(cols) == {"orbit0_x", "orbit0_y"}
+        assert cols["orbit0_x"].size == cols["orbit0_y"].size
+
+    def test_bounding_box_contains_orbits(self):
+        portrait = phase_portrait(CASE1_SLOW)
+        x_lo, x_hi, y_lo, y_hi = portrait.bounding_box()
+        for orbit in portrait.orbits:
+            assert orbit[:, 0].min() >= x_lo
+            assert orbit[:, 0].max() <= x_hi
+            assert orbit[:, 1].min() >= y_lo
+            assert orbit[:, 1].max() <= y_hi
+
+    def test_with_grid(self):
+        portrait = phase_portrait(CASE1_SLOW, with_grid=True)
+        assert portrait.grid is not None
+        assert portrait.grid.shape == (18, 24)

@@ -1,0 +1,66 @@
+"""Unit tests for the parameter-sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import elasticity, sensitivity_table
+from repro.core.parameters import paper_example_params
+
+
+PARAMS = paper_example_params()
+
+
+class TestElasticity:
+    def test_buffer_is_linear_in_q0(self):
+        assert elasticity(PARAMS, "required_buffer", "q0") == pytest.approx(
+            1.0, abs=1e-3)
+
+    def test_buffer_independent_of_w_and_pm(self):
+        # the paper's Remarks: w and pm do not move the criterion
+        assert elasticity(PARAMS, "required_buffer", "w") == pytest.approx(
+            0.0, abs=1e-9)
+        assert elasticity(PARAMS, "required_buffer", "pm") == pytest.approx(
+            0.0, abs=1e-9)
+
+    def test_buffer_sqrt_scaling_in_gains(self):
+        # bound = q0 (1 + s), s = sqrt(RuGiN/GdC): elasticity w.r.t.
+        # any gain inside the radical is 0.5 * s/(1+s)
+        import math
+
+        n = PARAMS.normalized()
+        s = math.sqrt(n.a / (n.b * n.capacity))
+        expected = 0.5 * s / (1.0 + s)
+        for knob in ("n_flows", "gi", "ru"):
+            assert elasticity(PARAMS, "required_buffer", knob) == (
+                pytest.approx(expected, abs=5e-3))
+        assert elasticity(PARAMS, "required_buffer", "gd") == pytest.approx(
+            -expected, abs=5e-3)
+
+    def test_settling_time_responds_to_w_and_pm_only_linearly(self):
+        assert elasticity(PARAMS, "settling_time", "w") == pytest.approx(
+            -1.0, abs=0.02)
+        assert elasticity(PARAMS, "settling_time", "pm") == pytest.approx(
+            1.0, abs=0.02)
+
+    def test_queue_peak_tracks_buffer_elasticities(self):
+        for knob in ("q0", "gi", "gd"):
+            bound = elasticity(PARAMS, "required_buffer", knob)
+            peak = elasticity(PARAMS, "queue_peak", knob)
+            assert peak == pytest.approx(bound, abs=0.02)
+
+    def test_custom_metric_callable(self):
+        value = elasticity(PARAMS, lambda p: p.q0 ** 2, "q0")
+        assert value == pytest.approx(2.0, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            elasticity(PARAMS, "bogus_metric", "q0")
+        with pytest.raises(ValueError):
+            elasticity(PARAMS.with_(n_flows=1), "required_buffer", "n_flows")
+
+
+class TestTable:
+    def test_selected_rows_and_columns(self):
+        table = sensitivity_table(
+            PARAMS, metrics=["required_buffer"], parameters=["q0", "w"])
+        assert set(table) == {"required_buffer"}
+        assert set(table["required_buffer"]) == {"q0", "w"}

@@ -1,0 +1,206 @@
+"""Unit tests for sources and rate regulators (repro.simulation.source)."""
+
+import math
+
+import pytest
+
+from repro.simulation.engine import Simulator
+from repro.simulation.frames import BCNMessage, PauseFrame
+from repro.simulation.source import (
+    RateRegulator,
+    TrafficSource,
+    expected_message_interval,
+)
+
+
+def regulator(mode="message", **overrides):
+    config = dict(gi=4.0, gd=1.0 / 128.0, ru=8e6, initial_rate=1e8,
+                  min_rate=1e6, line_rate=1e9, mode=mode)
+    config.update(overrides)
+    return RateRegulator(**config)
+
+
+def message(fb, fb_raw=None, cpid="core-0"):
+    return BCNMessage(da=0, sa=cpid, cpid=cpid, fb=fb, q_off=0.0,
+                      q_delta=0.0, fb_raw=fb if fb_raw is None else fb_raw)
+
+
+class TestMessageMode:
+    def test_additive_increase(self):
+        reg = regulator()
+        reg.apply(message(2.0))
+        assert reg.rate == pytest.approx(1e8 + 4.0 * 8e6 * 2.0)
+
+    def test_multiplicative_decrease(self):
+        reg = regulator()
+        reg.apply(message(-16.0))
+        assert reg.rate == pytest.approx(1e8 * (1 - 16.0 / 128.0))
+
+    def test_max_quantized_decrease_halves(self):
+        # Gd = 1/128 with 6-bit FB (|fb| <= 64): worst case is -50%.
+        reg = regulator()
+        reg.apply(message(-64.0))
+        assert reg.rate == pytest.approx(0.5e8)
+
+    def test_rate_clamped_to_bounds(self):
+        reg = regulator()
+        reg.apply(message(1e6))
+        assert reg.rate == 1e9  # line rate
+        reg = regulator()
+        reg.apply(message(-1e6))
+        assert reg.rate == 1e6  # floor, never negative
+
+    def test_zero_fb_is_noop(self):
+        reg = regulator()
+        reg.apply(message(0.0))
+        assert reg.rate == 1e8
+
+
+class TestFluidModes:
+    def test_first_message_integrates_nothing(self):
+        reg = regulator(mode="fluid-exact")
+        reg.apply(message(-10.0, fb_raw=-1e6), now=1.0)
+        assert reg.rate == 1e8  # dt unknown on the first message
+
+    def test_exact_decrease_is_exponential(self):
+        reg = regulator(mode="fluid-exact")
+        reg.apply(message(-1.0, fb_raw=-1e5), now=0.0)
+        reg.apply(message(-1.0, fb_raw=-1e5), now=0.001)
+        expected = 1e8 * math.exp((1.0 / 128.0) * (-1e5) * 0.001)
+        assert reg.rate == pytest.approx(expected)
+
+    def test_euler_decrease_matches_small_step(self):
+        exact = regulator(mode="fluid-exact")
+        euler = regulator(mode="fluid-euler")
+        for reg in (exact, euler):
+            reg.apply(message(-1.0, fb_raw=-100.0), now=0.0)
+            reg.apply(message(-1.0, fb_raw=-100.0), now=1e-5)
+        assert euler.rate == pytest.approx(exact.rate, rel=1e-6)
+
+    def test_exact_never_goes_negative(self):
+        reg = regulator(mode="fluid-exact")
+        reg.apply(message(-1.0, fb_raw=-1e9), now=0.0)
+        reg.apply(message(-1.0, fb_raw=-1e9), now=1.0)
+        assert reg.rate >= reg.min_rate
+
+    def test_increase_integrates_sigma_dt(self):
+        reg = regulator(mode="fluid-euler")
+        reg.apply(message(1.0, fb_raw=1e3), now=0.0)
+        reg.apply(message(1.0, fb_raw=1e3), now=0.002)
+        assert reg.rate == pytest.approx(1e8 + 4.0 * 8e6 * 1e3 * 0.002)
+
+    def test_max_dt_caps_integration(self):
+        reg = regulator(mode="fluid-euler", max_dt=1e-3)
+        reg.apply(message(1.0, fb_raw=1e3), now=0.0)
+        reg.apply(message(1.0, fb_raw=1e3), now=10.0)
+        assert reg.rate == pytest.approx(1e8 + 4.0 * 8e6 * 1e3 * 1e-3)
+
+
+class TestAssociation:
+    def test_negative_bcn_associates(self):
+        reg = regulator()
+        assert reg.associated_cpid is None
+        reg.apply(message(-4.0, cpid="core-7"))
+        assert reg.associated_cpid == "core-7"
+
+    def test_association_released_at_line_rate(self):
+        reg = regulator()
+        reg.apply(message(-4.0))
+        reg.apply(message(1e6))  # clamps to line rate
+        assert reg.associated_cpid is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            regulator(initial_rate=0.0)
+        with pytest.raises(ValueError):
+            regulator(min_rate=0.0)
+        with pytest.raises(ValueError):
+            regulator(mode="bogus")
+
+
+class TestTrafficSource:
+    def make_source(self, sim, reg, **overrides):
+        sent = []
+        config = dict(address=3, regulator=reg, send=sent.append,
+                      frame_bits=12000)
+        config.update(overrides)
+        return TrafficSource(sim, **config), sent
+
+    def test_paces_at_regulator_rate(self):
+        sim = Simulator()
+        source, sent = self.make_source(sim, regulator(initial_rate=12000.0))
+        source.start()
+        sim.run(until=3.5)
+        assert len(sent) == 3  # one frame per second
+        assert source.frames_sent == 3
+
+    def test_frames_carry_rrt_after_association(self):
+        sim = Simulator()
+        reg = regulator(initial_rate=12000.0)
+        source, sent = self.make_source(sim, reg)
+        source.start()
+        sim.run(until=1.5)
+        assert sent[0].rrt_cpid is None
+        source.receive_control(message(-4.0, cpid="core-9"))
+        sim.run(until=2.5)
+        assert sent[-1].rrt_cpid == "core-9"
+
+    def test_pause_silences_until_expiry(self):
+        sim = Simulator()
+        source, sent = self.make_source(sim, regulator(initial_rate=12000.0))
+        source.start()
+        sim.run(until=1.5)  # one frame out
+        source.receive_control(PauseFrame(sa="sw", duration=3.0))
+        sim.run(until=4.0)  # pause covers until t=4.5
+        assert len(sent) == 1
+        sim.run(until=6.0)
+        assert len(sent) >= 2
+
+    def test_finite_flow_stops(self):
+        sim = Simulator()
+        source, sent = self.make_source(
+            sim, regulator(initial_rate=12000.0), total_bits=24000.0)
+        source.start()
+        sim.run(until=10.0)
+        assert len(sent) == 2
+        assert source.finished
+
+    def test_muted_source_sends_nothing(self):
+        sim = Simulator()
+        source, sent = self.make_source(sim, regulator(initial_rate=12000.0))
+        source.muted = True
+        source.start()
+        sim.run(until=5.0)
+        assert sent == []
+        source.muted = False
+        sim.run(until=8.0)
+        assert sent
+
+    def test_rate_change_observer(self):
+        sim = Simulator()
+        seen = []
+        source, _ = self.make_source(
+            sim, regulator(initial_rate=12000.0),
+            on_rate_change=lambda t, r: seen.append((t, r)))
+        source.receive_control(message(-16.0))
+        assert len(seen) == 1
+
+    def test_start_idempotent(self):
+        sim = Simulator()
+        source, sent = self.make_source(sim, regulator(initial_rate=12000.0))
+        source.start()
+        source.start()
+        sim.run(until=1.5)
+        assert len(sent) == 1
+
+
+class TestHelpers:
+    def test_expected_message_interval(self):
+        assert expected_message_interval(10, 1500, 0.1, 1e9) == pytest.approx(
+            10 * 1500 / (0.1 * 1e9))
+
+    def test_expected_message_interval_validation(self):
+        with pytest.raises(ValueError):
+            expected_message_interval(0, 1500, 0.1, 1e9)
+        with pytest.raises(ValueError):
+            expected_message_interval(10, 1500, 1.5, 1e9)

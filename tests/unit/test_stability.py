@@ -1,0 +1,160 @@
+"""Unit tests for repro.core.stability (Props. 2-4, Theorem 1)."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import NormalizedParams, paper_example_params
+from repro.core.phase_plane import PaperCase, PhasePlaneAnalyzer
+from repro.core.stability import (
+    case1_excursion_bounds,
+    case2_peak_bound,
+    is_strongly_stable,
+    max_queue_bound,
+    proposition2_holds,
+    proposition3_holds,
+    proposition4_applies,
+    required_buffer,
+    strong_stability_report,
+    theorem1_criterion,
+)
+
+
+def norm(a, b, k=1.0, q0=10.0, buffer_size=100.0):
+    return NormalizedParams(a=a, b=b, k=k, capacity=100.0, q0=q0,
+                            buffer_size=buffer_size)
+
+
+CASE1 = norm(2.0, 0.02)
+CASE2 = norm(8.0, 0.02)
+CASE3 = norm(2.0, 0.08)
+CASE4 = norm(8.0, 0.08)
+
+
+class TestCase1Bounds:
+    def test_bounds_match_composed_first_round(self):
+        for k in (1.0, 0.3, 0.05):
+            p = norm(2.0, 0.02, k=k, buffer_size=1e9)
+            max1, min1 = case1_excursion_bounds(p)
+            traj = PhasePlaneAnalyzer(p).compose(max_switches=8)
+            peaks = [x for _, x in traj.extrema if x > 0]
+            troughs = [x for _, x in traj.extrema if x < 0]
+            assert max1 == pytest.approx(peaks[0], rel=1e-9)
+            assert min1 == pytest.approx(troughs[0], rel=1e-9)
+
+    def test_min1_above_minus_q0(self):
+        # The Theorem 1 proof claims the first trough never re-empties
+        # the queue; verify across a k sweep.
+        for k in (1.0, 0.1, 0.01):
+            p = norm(2.0, 0.02, k=k, buffer_size=1e9)
+            _, min1 = case1_excursion_bounds(p)
+            assert min1 > -p.q0
+
+    def test_rejects_wrong_case(self):
+        with pytest.raises(ValueError):
+            case1_excursion_bounds(CASE2)
+
+
+class TestCase2Bound:
+    def test_bound_matches_composed_peak(self):
+        for a in (8.0, 32.0):
+            p = norm(a, 0.02, buffer_size=1e9)
+            bound = case2_peak_bound(p)
+            traj = PhasePlaneAnalyzer(p).compose(max_switches=6)
+            peaks = [x for _, x in traj.extrema if x > 0]
+            assert bound == pytest.approx(peaks[0], rel=1e-9)
+
+    def test_rejects_wrong_case(self):
+        with pytest.raises(ValueError):
+            case2_peak_bound(CASE1)
+
+
+class TestPropositions:
+    def test_proposition2_tracks_buffer(self):
+        max1, _ = case1_excursion_bounds(norm(2.0, 0.02, buffer_size=1e9))
+        roomy = norm(2.0, 0.02, buffer_size=10.0 + 2 * max1)
+        tight = norm(2.0, 0.02, buffer_size=10.0 + 0.5 * max1)
+        assert proposition2_holds(roomy)
+        assert not proposition2_holds(tight)
+
+    def test_proposition3_tracks_buffer(self):
+        peak = case2_peak_bound(norm(8.0, 0.02, buffer_size=1e9))
+        assert proposition3_holds(norm(8.0, 0.02, buffer_size=10.0 + 2 * peak))
+        assert not proposition3_holds(
+            norm(8.0, 0.02, buffer_size=10.0 + 0.5 * peak))
+
+    def test_proposition4_cases(self):
+        assert not proposition4_applies(CASE1)
+        assert not proposition4_applies(CASE2)
+        assert proposition4_applies(CASE3)
+        assert proposition4_applies(CASE4)
+        assert proposition4_applies(norm(4.0, 0.02))  # a at threshold
+        assert proposition4_applies(norm(2.0, 0.04))  # bC at threshold
+
+
+class TestTheorem1:
+    def test_formula(self):
+        p = CASE1
+        expected = (1.0 + math.sqrt(p.a / (p.b * p.capacity))) * p.q0
+        assert required_buffer(p) == pytest.approx(expected)
+        assert max_queue_bound(p) == required_buffer(p)
+
+    def test_criterion_is_buffer_comparison(self):
+        p = CASE1
+        need = required_buffer(p)
+        assert theorem1_criterion(norm(2.0, 0.02, buffer_size=need * 1.01))
+        assert not theorem1_criterion(norm(2.0, 0.02, buffer_size=need * 0.99))
+
+    def test_paper_worked_example(self):
+        assert required_buffer(paper_example_params()) == pytest.approx(
+            13.81e6, rel=1e-2)
+
+    def test_sufficiency_on_case_grid(self):
+        # Theorem 1 satisfied  ==>  strongly stable (Definition 1).
+        for a in (0.5, 2.0, 8.0):
+            for b in (0.01, 0.08):
+                for k in (1.0, 0.1):
+                    need = required_buffer(norm(a, b, k=k, buffer_size=1e9))
+                    p = norm(a, b, k=k, buffer_size=need * 1.05)
+                    assert theorem1_criterion(p)
+                    assert is_strongly_stable(p), (a, b, k)
+
+    def test_accepts_physical_params(self):
+        assert theorem1_criterion(paper_example_params())
+
+
+class TestReport:
+    def test_case1_report_fields(self):
+        p = norm(2.0, 0.02, k=0.1, buffer_size=200.0)
+        report = strong_stability_report(p)
+        assert report.case is PaperCase.CASE1
+        assert report.proposition == 2
+        assert report.strongly_stable
+        assert report.bound_peak is not None
+        assert report.queue_peak <= report.bound_peak + 1e-9
+        assert report.consistent
+
+    def test_case3_report_has_no_bound(self):
+        report = strong_stability_report(CASE3)
+        assert report.proposition == 4
+        assert report.bound_peak is None
+        assert report.strongly_stable
+
+    def test_overflow_flips_verdict(self):
+        p = norm(2.0, 0.02, k=0.01, buffer_size=12.0)
+        report = strong_stability_report(p)
+        assert not report.strongly_stable
+        assert not report.theorem1_satisfied  # consistency
+        assert report.consistent
+
+    def test_slow_convergence_counts_as_stable(self):
+        # Paper-example-like contraction (~0.998/round) exceeds any
+        # reasonable switch budget but the trend resolves it.
+        report = strong_stability_report(paper_example_params(),
+                                         max_switches=50)
+        assert report.strongly_stable
+        assert not report.limit_cycle_suspected
+
+    def test_trough_reported_after_start(self):
+        report = strong_stability_report(paper_example_params())
+        assert report.queue_trough > 0.0  # never re-empties

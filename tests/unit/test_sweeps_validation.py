@@ -1,0 +1,106 @@
+"""Unit tests for repro.analysis.sweeps and repro.analysis.validation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import SweepResult, grid, sweep
+from repro.analysis.validation import compare_series
+from repro.core.parameters import BCNParams
+from repro.core.stability import required_buffer
+
+
+def base_params():
+    return BCNParams(capacity=1e9, n_flows=10, q0=1e6, buffer_size=8e6)
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        combos = grid(a=[1, 2], b=["x", "y", "z"])
+        assert len(combos) == 6
+        assert {(c["a"], c["b"]) for c in combos} == {
+            (1, "x"), (1, "y"), (1, "z"), (2, "x"), (2, "y"), (2, "z")
+        }
+
+    def test_single_axis(self):
+        assert grid(n=[1, 2, 3]) == [{"n": 1}, {"n": 2}, {"n": 3}]
+
+
+class TestSweep:
+    def test_records_contain_overrides_and_results(self):
+        result = sweep(
+            base_params(),
+            {"n_flows": [5, 10, 20]},
+            lambda p: {"buffer": required_buffer(p)},
+        )
+        assert len(result.records) == 3
+        assert result.records[0]["n_flows"] == 5
+        assert all("buffer" in r for r in result.records)
+        # more flows -> more buffer
+        buffers = result.column("buffer")
+        assert buffers[0] < buffers[1] < buffers[2]
+
+    def test_skip_invalid_combinations(self):
+        result = sweep(
+            base_params(),
+            {"q0": [1e6, 9e6]},  # 9e6 > buffer 8e6: invalid
+            lambda p: {"ok": True},
+        )
+        assert len(result.records) == 1
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(ValueError):
+            sweep(base_params(), {"q0": [9e6]}, lambda p: {},
+                  skip_invalid=False)
+
+    def test_where_filter(self):
+        result = sweep(base_params(), {"n_flows": [5, 10]},
+                       lambda p: {"v": p.n_flows * 2})
+        assert result.where(n_flows=5)[0]["v"] == 10
+
+    def test_to_rows_and_csv(self, tmp_path):
+        result = sweep(base_params(), {"n_flows": [5, 10]},
+                       lambda p: {"v": 1.0})
+        rows = result.to_rows(["n_flows", "v"])
+        assert rows == [[5, 1.0], [10, 1.0]]
+        path = tmp_path / "out.csv"
+        result.to_csv(str(path), ["n_flows", "v"])
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "n_flows,v"
+        assert len(lines) == 3
+
+    def test_csv_requires_records(self, tmp_path):
+        empty = SweepResult(axes={})
+        with pytest.raises(ValueError):
+            empty.to_csv(str(tmp_path / "x.csv"))
+
+
+class TestCompareSeries:
+    def test_identical_series_agree(self):
+        t = np.linspace(0.0, 10.0, 300)
+        v = 1.0 + np.exp(-0.3 * t) * np.cos(3.0 * t)
+        report = compare_series(t, v, t, v, reference_level=1.0)
+        assert report.nrmse == pytest.approx(0.0, abs=1e-12)
+        assert report.peak_ratio == pytest.approx(1.0)
+        assert report.mean_ratio == pytest.approx(1.0)
+        assert report.reference_class == report.candidate_class
+        assert report.period_ratio == pytest.approx(1.0)
+        assert report.agrees()
+
+    def test_scaled_series_detected(self):
+        t = np.linspace(0.0, 10.0, 300)
+        v = 1.0 + np.exp(-0.3 * t) * np.cos(3.0 * t)
+        report = compare_series(t, v, t, 3.0 * v, reference_level=1.0)
+        assert report.peak_ratio == pytest.approx(3.0, rel=0.01)
+        assert not report.agrees()
+
+    def test_non_overlapping_rejected(self):
+        t1 = np.linspace(0.0, 1.0, 10)
+        t2 = np.linspace(2.0, 3.0, 10)
+        with pytest.raises(ValueError):
+            compare_series(t1, t1, t2, t2, reference_level=0.0)
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            compare_series(np.array([0.0]), np.array([1.0]),
+                           np.array([0.0, 1.0]), np.array([1.0, 2.0]),
+                           reference_level=0.0)

@@ -1,0 +1,79 @@
+"""Unit tests for repro.core.switching."""
+
+import math
+
+import pytest
+
+from repro.core.eigen import Region
+from repro.core.switching import SwitchingLine
+
+
+LINE = SwitchingLine(k=2.0)
+
+
+class TestGeometry:
+    def test_sigma_is_negated_switching_function(self):
+        assert LINE.sigma(1.0, 1.0) == -LINE.value(1.0, 1.0) == -3.0
+
+    def test_region_partition(self):
+        assert LINE.region(-5.0, 0.0) is Region.INCREASE  # sigma > 0
+        assert LINE.region(5.0, 0.0) is Region.DECREASE
+        assert LINE.region(-2.0, 1.0) is None  # exactly on the line
+
+    def test_region_tolerance(self):
+        assert LINE.region(1e-15, 0.0, tol=1e-12) is None
+        assert LINE.region(1e-10, 0.0, tol=1e-12) is Region.DECREASE
+
+    def test_slope(self):
+        assert LINE.slope() == -0.5
+
+    def test_points_on_line(self):
+        x, y = LINE.point_at_y(3.0)
+        assert LINE.value(x, y) == pytest.approx(0.0)
+        x, y = LINE.point_at_x(4.0)
+        assert LINE.value(x, y) == pytest.approx(0.0)
+
+    def test_distance(self):
+        # distance from (1, 0) to x + 2y = 0 is 1/sqrt(5)
+        assert LINE.distance(1.0, 0.0) == pytest.approx(1.0 / math.sqrt(5.0))
+        assert LINE.distance(-2.0, 1.0) == pytest.approx(0.0)
+
+    def test_projection_lands_on_line(self):
+        px, py = LINE.project(3.0, 4.0)
+        assert LINE.value(px, py) == pytest.approx(0.0, abs=1e-12)
+        # projection is orthogonal: displacement parallel to (1, k)
+        dx, dy = 3.0 - px, 4.0 - py
+        assert dx * (-LINE.k) + dy * 1.0 == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            SwitchingLine(0.0)
+        with pytest.raises(ValueError):
+            SwitchingLine(-1.0)
+        with pytest.raises(ValueError):
+            SwitchingLine(math.inf)
+
+
+class TestFlowResolution:
+    def test_crossing_direction(self):
+        # On the line d(x+ky)/dt = y: upward crossings enter DECREASE.
+        assert LINE.crossing_direction(2.0) is Region.DECREASE
+        assert LINE.crossing_direction(-2.0) is Region.INCREASE
+        with pytest.raises(ValueError):
+            LINE.crossing_direction(0.0)
+
+    def test_region_or_heading_off_line(self):
+        assert LINE.region_or_heading(-5.0, 0.0) is Region.INCREASE
+        assert LINE.region_or_heading(5.0, 0.0) is Region.DECREASE
+
+    def test_region_or_heading_near_line_uses_flow(self):
+        # A point microscopically on the wrong side of the line (as a
+        # crossing solver produces) resolves by heading, not noise sign.
+        y = 1000.0
+        x = -LINE.k * y + 1e-9  # relative error ~5e-13: below rel tol
+        assert LINE.region_or_heading(x, y) is Region.DECREASE
+        x = -LINE.k * (-y) - 1e-9
+        assert LINE.region_or_heading(x, -y) is Region.INCREASE
+
+    def test_origin_defaults_to_increase(self):
+        assert LINE.region_or_heading(0.0, 0.0) is Region.INCREASE

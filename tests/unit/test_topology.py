@@ -1,0 +1,147 @@
+"""Unit tests for repro.topology (graphs + routing)."""
+
+import networkx as nx
+import pytest
+
+from repro.topology.graphs import dcell, dumbbell, fat_tree, hosts, monsoon, switches
+from repro.topology.routing import (
+    bottleneck_edge,
+    ecmp_route,
+    route_edges,
+    shortest_route,
+)
+
+
+class TestDumbbell:
+    def test_structure(self):
+        g = dumbbell(5, capacity=1e9)
+        hs = hosts(g)
+        assert len(hs) == 6  # 5 sources + sink
+        assert "sink" in hs
+        assert g.edges["core0", "sink"]["capacity"] == 1e9
+
+    def test_edge_uplink_scales_with_sources(self):
+        g = dumbbell(4, capacity=1e9)
+        assert g.edges["edge0", "core0"]["capacity"] == 4e9
+
+    def test_rejects_zero_sources(self):
+        with pytest.raises(ValueError):
+            dumbbell(0)
+
+
+class TestFatTree:
+    def test_k4_counts(self):
+        g = fat_tree(4)
+        assert len(hosts(g)) == 16  # k^3/4
+        assert len(switches(g)) == 20  # 4 core + 8 agg + 8 edge
+        assert g.number_of_edges() == 48
+
+    def test_k6_host_count(self):
+        assert len(hosts(fat_tree(6))) == 54
+
+    def test_all_links_same_capacity(self):
+        g = fat_tree(4, capacity=7e9)
+        assert all(d["capacity"] == 7e9 for _, _, d in g.edges(data=True))
+
+    def test_connected(self):
+        assert nx.is_connected(fat_tree(4))
+
+    def test_rejects_odd_arity(self):
+        with pytest.raises(ValueError):
+            fat_tree(3)
+
+    def test_inter_pod_path_length(self):
+        g = fat_tree(4)
+        hs = hosts(g)
+        # hosts in different pods are 6 hops apart (h-e-a-c-a-e-h)
+        path = shortest_route(g, "p0e0h0", "p1e0h0")
+        assert len(path) == 7
+
+
+class TestDCell:
+    def test_level0(self):
+        g = dcell(4, 0)
+        assert len(hosts(g)) == 4
+        assert len(switches(g)) == 1
+
+    def test_level1_counts(self):
+        g = dcell(4, 1)
+        # t1 = n * (n + 1) = 20 hosts in n+1 = 5 cells
+        assert len(hosts(g)) == 20
+        assert len(switches(g)) == 5
+
+    def test_level1_cross_links(self):
+        g = dcell(3, 1)
+        # C(4,2) = 6 host-to-host links between cells
+        host_links = [
+            (u, v) for u, v, in g.edges()
+            if g.nodes[u]["kind"] == "host" and g.nodes[v]["kind"] == "host"
+        ]
+        assert len(host_links) == 6
+
+    def test_connected(self):
+        assert nx.is_connected(dcell(4, 1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dcell(1)
+        with pytest.raises(ValueError):
+            dcell(4, 3)
+
+
+class TestMonsoon:
+    def test_counts(self):
+        g = monsoon(4, n_aggs=2, n_hosts_per_tor=4)
+        assert len(hosts(g)) == 16
+        assert len(switches(g)) == 6
+        # complete bipartite tor-agg core: 4*2 links + 16 host links
+        assert g.number_of_edges() == 24
+
+    def test_dual_homing(self):
+        g = monsoon(3, n_aggs=2)
+        for t in range(3):
+            assert g.degree[f"tor{t}"] == 2 + 4  # 2 aggs + 4 hosts
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            monsoon(0)
+
+
+class TestRouting:
+    def test_shortest_route_endpoints(self):
+        g = fat_tree(4)
+        path = shortest_route(g, "p0e0h0", "p3e1h1")
+        assert path[0] == "p0e0h0"
+        assert path[-1] == "p3e1h1"
+
+    def test_ecmp_deterministic_per_flow(self):
+        g = fat_tree(4)
+        r1 = ecmp_route(g, "p0e0h0", "p1e0h0", flow_id=42)
+        r2 = ecmp_route(g, "p0e0h0", "p1e0h0", flow_id=42)
+        assert r1 == r2
+
+    def test_ecmp_spreads_flows(self):
+        g = fat_tree(4)
+        routes = {tuple(ecmp_route(g, "p0e0h0", "p1e0h0", flow_id=i))
+                  for i in range(32)}
+        assert len(routes) > 1  # multiple equal-cost paths used
+
+    def test_ecmp_routes_are_shortest(self):
+        g = fat_tree(4)
+        base = len(shortest_route(g, "p0e0h0", "p1e0h0"))
+        for i in range(8):
+            assert len(ecmp_route(g, "p0e0h0", "p1e0h0", flow_id=i)) == base
+
+    def test_route_edges(self):
+        assert route_edges(["a", "b", "c"]) == [("a", "b"), ("b", "c")]
+
+    def test_bottleneck_edge(self):
+        g = dumbbell(4)
+        routes = [shortest_route(g, f"h{i}", "sink") for i in range(4)]
+        edge, count = bottleneck_edge(g, routes)
+        assert count == 4
+        assert set(edge) <= {"edge0", "core0", "sink"}
+
+    def test_bottleneck_edge_empty(self):
+        with pytest.raises(ValueError):
+            bottleneck_edge(dumbbell(2), [])

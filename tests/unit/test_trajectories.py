@@ -1,0 +1,287 @@
+"""Unit tests for the closed-form trajectories (repro.core.trajectories).
+
+Each family is checked against an independent numerical integration of
+the same linear ODE (``x' = y``, ``y' = -n x - k n y``) and against the
+structural facts the paper derives from it.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.integrate import solve_ivp
+
+from repro.core.eigen import eigenstructure
+from repro.core.trajectories import (
+    DegenerateTrajectory,
+    NodeTrajectory,
+    SpiralTrajectory,
+    linear_trajectory,
+    trajectory_for,
+)
+
+FOCUS = eigenstructure(2.0, 1.0)
+NODE = eigenstructure(8.0, 1.0)
+DEGEN = eigenstructure(4.0, 1.0)
+
+
+def integrate_reference(eig, x0, y0, t_end, n_points=200):
+    n, k = eig.n, eig.k
+
+    def rhs(t, s):
+        return [s[1], -n * s[0] - k * n * s[1]]
+
+    ts = np.linspace(0.0, t_end, n_points)
+    sol = solve_ivp(rhs, (0.0, t_end), [x0, y0], t_eval=ts, rtol=1e-11,
+                    atol=1e-13)
+    return ts, sol.y[0], sol.y[1]
+
+
+@pytest.mark.parametrize("eig,x0,y0", [
+    (FOCUS, -10.0, 0.0),
+    (FOCUS, 3.0, -7.0),
+    (NODE, -10.0, 0.0),
+    (NODE, 2.0, 5.0),
+    (DEGEN, -4.0, 1.0),
+    (DEGEN, 1.0, -2.0),
+])
+def test_closed_form_matches_numerical_integration(eig, x0, y0):
+    traj = linear_trajectory(eig, x0, y0)
+    ts, x_ref, y_ref = integrate_reference(eig, x0, y0, 5.0)
+    states = traj.states(ts)
+    scale = max(abs(x0), abs(y0), 1.0)
+    assert np.allclose(states[:, 0], x_ref, atol=1e-7 * scale)
+    assert np.allclose(states[:, 1], y_ref, atol=1e-7 * scale)
+
+
+@pytest.mark.parametrize("eig", [FOCUS, NODE, DEGEN])
+def test_state_matches_states_vectorised(eig):
+    traj = linear_trajectory(eig, -3.0, 4.0)
+    ts = np.linspace(0.0, 2.0, 17)
+    batch = traj.states(ts)
+    for i, t in enumerate(ts):
+        x, y = traj.state(float(t))
+        assert x == pytest.approx(batch[i, 0], abs=1e-12)
+        assert y == pytest.approx(batch[i, 1], abs=1e-12)
+
+
+@pytest.mark.parametrize("eig", [FOCUS, NODE, DEGEN])
+def test_initial_condition_reproduced(eig):
+    traj = linear_trajectory(eig, -2.5, 1.5)
+    assert traj.state(0.0) == (pytest.approx(-2.5), pytest.approx(1.5))
+
+
+class TestFactory:
+    def test_dispatches_by_kind(self):
+        assert isinstance(linear_trajectory(FOCUS, 1, 0), SpiralTrajectory)
+        assert isinstance(linear_trajectory(NODE, 1, 0), NodeTrajectory)
+        assert isinstance(linear_trajectory(DEGEN, 1, 0), DegenerateTrajectory)
+
+    def test_trajectory_for_builds_and_classifies(self):
+        assert isinstance(trajectory_for(2.0, 1.0, 1, 0), SpiralTrajectory)
+        assert isinstance(trajectory_for(8.0, 1.0, 1, 0), NodeTrajectory)
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SpiralTrajectory(1.0, 0.0, NODE)
+        with pytest.raises(ValueError):
+            NodeTrajectory(1.0, 0.0, FOCUS)
+        with pytest.raises(ValueError):
+            DegenerateTrajectory(1.0, 0.0, FOCUS)
+
+
+class TestSpiral:
+    def test_amplitude_matches_paper_formula(self):
+        # A = sqrt((alpha^2+beta^2) x0^2 - 2 alpha x0 y0 + y0^2) / beta
+        x0, y0 = -3.0, 5.0
+        traj = SpiralTrajectory(x0, y0, FOCUS)
+        a, b = FOCUS.alpha, FOCUS.beta
+        expected = math.sqrt((a * a + b * b) * x0 * x0 - 2 * a * x0 * y0
+                             + y0 * y0) / b
+        assert traj.amplitude == pytest.approx(expected)
+
+    def test_amplitude_phase_reconstruct_x(self):
+        traj = SpiralTrajectory(-3.0, 5.0, FOCUS)
+        for t in (0.0, 0.3, 1.7):
+            expected = (traj.amplitude * math.exp(FOCUS.alpha * t)
+                        * math.cos(FOCUS.beta * t + traj.phase))
+            assert traj.state(t)[0] == pytest.approx(expected, abs=1e-10)
+
+    def test_polar_radius_law(self):
+        # eq. (17): r = sqrt(c1) exp(alpha/beta * theta); check the log
+        # radius is affine in theta along the trajectory.
+        traj = SpiralTrajectory(-10.0, 0.0, FOCUS)
+        slope = FOCUS.alpha / FOCUS.beta
+        r0, th0 = traj.polar(0.0)
+        for t in (0.1, 0.5, 1.1):
+            r, th = traj.polar(t)
+            # theta from atan2 wraps; use the time form theta = beta t + phase
+            dtheta = FOCUS.beta * t
+            assert math.log(r / r0) == pytest.approx(slope * dtheta, abs=1e-9)
+
+    def test_first_y_zero_is_first(self):
+        traj = SpiralTrajectory(-10.0, 0.0, FOCUS)
+        t_star = traj.first_y_zero_time()
+        assert t_star > 0
+        # y keeps one sign strictly inside (0, t_star)
+        ts = np.linspace(1e-6, t_star * 0.999, 100)
+        ys = traj.states(ts)[:, 1]
+        assert np.all(ys > 0) or np.all(ys < 0)
+        assert traj.state(t_star)[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_line_crossing_lands_on_line(self):
+        traj = SpiralTrajectory(-10.0, 0.0, FOCUS)
+        k = 0.7
+        t_cross = traj.first_line_crossing_time(k)
+        x, y = traj.state(t_cross)
+        assert x + k * y == pytest.approx(0.0, abs=1e-8)
+
+    def test_crossing_from_on_line_advances_half_turn(self):
+        k = FOCUS.k
+        y0 = 5.0
+        traj = SpiralTrajectory(-k * y0, y0, FOCUS)
+        t_cross = traj.first_line_crossing_time(k)
+        assert t_cross == pytest.approx(math.pi / FOCUS.beta, rel=1e-9)
+
+    def test_half_turn_contraction(self):
+        traj = SpiralTrajectory(-10.0, 0.0, FOCUS)
+        assert traj.half_turn_contraction() == pytest.approx(
+            math.exp(FOCUS.alpha * math.pi / FOCUS.beta))
+        assert 0 < traj.half_turn_contraction() < 1
+
+    def test_extremum_is_local_max_for_positive_y0(self):
+        traj = SpiralTrajectory(-1.0, 4.0, FOCUS)
+        t_star = traj.first_y_zero_time()
+        ext = traj.extremum_x()
+        eps = 1e-4
+        assert ext > traj.state(t_star - eps)[0]
+        assert ext > traj.state(t_star + eps)[0]
+
+
+class TestNode:
+    def test_coefficients_match_paper(self):
+        x0, y0 = -3.0, 2.0
+        traj = NodeTrajectory(x0, y0, NODE)
+        l1, l2 = NODE.real_eigenvalues
+        assert traj.a1 == pytest.approx((l2 * x0 - y0) / (l2 - l1))
+        assert traj.a2 == pytest.approx((y0 - l1 * x0) / (l2 - l1))
+        assert traj.a1 + traj.a2 == pytest.approx(x0)
+
+    def test_invariant_lines_are_trajectories(self):
+        l1, l2 = NODE.real_eigenvalues
+        for lam in (l1, l2):
+            traj = NodeTrajectory(2.0, 2.0 * lam, NODE)
+            for t in (0.5, 2.0):
+                x, y = traj.state(t)
+                assert y == pytest.approx(lam * x, abs=1e-10)
+
+    def test_no_line_crossing_from_switching_line(self):
+        # Starting on x + k y = 0 a node trajectory never returns to it.
+        k = NODE.k
+        traj = NodeTrajectory(-k * 3.0, 3.0, NODE)
+        assert traj.first_line_crossing_time(k) is None
+
+    def test_interior_start_crosses_line(self):
+        k = NODE.k
+        traj = NodeTrajectory(-10.0, 0.0, NODE)
+        t_cross = traj.first_line_crossing_time(k)
+        assert t_cross is not None
+        x, y = traj.state(t_cross)
+        assert x + k * y == pytest.approx(0.0, abs=1e-9)
+
+    def test_extremum_against_numeric_scan(self):
+        # (-6, 45): y starts positive, changes sign -> x has a true max.
+        traj = NodeTrajectory(-6.0, 45.0, NODE)
+        assert traj.first_y_zero_time() is not None
+        ts = np.linspace(0.0, 10.0, 40001)
+        xs = traj.states(ts)[:, 0]
+        assert traj.extremum_x() == pytest.approx(float(xs.max()), rel=1e-6)
+
+    def test_monotone_start_has_no_extremum(self):
+        # (-6, 9): both modes of y positive -> x climbs to 0 from below.
+        traj = NodeTrajectory(-6.0, 9.0, NODE)
+        assert traj.first_y_zero_time() is None
+        assert traj.extremum_x() is None
+
+    def test_paper_formula_matches_robust_where_defined(self):
+        for x0, y0 in [(-6.0, 45.0), (-1.0, 8.0), (4.0, -30.0)]:
+            traj = NodeTrajectory(x0, y0, NODE)
+            paper = traj.extremum_x_paper_formula()
+            robust = traj.extremum_x()
+            if paper is not None and robust is not None:
+                assert paper == pytest.approx(robust, rel=1e-9)
+
+    def test_extremum_none_when_monotone(self):
+        # Start on the slow invariant line moving towards the origin:
+        # y never vanishes.
+        l1, l2 = NODE.real_eigenvalues
+        traj = NodeTrajectory(1.0, l2 * 1.0, NODE)
+        assert traj.first_y_zero_time() is None
+        assert traj.extremum_x() is None
+
+    def test_curve_exponent_relation_constant(self):
+        # eq. (26)/(27): |v| = c |u|^{lambda1/lambda2} — the signs of
+        # u and v are constant along one trajectory, so the log relation
+        # holds branch-wise.
+        traj = NodeTrajectory(-6.0, 9.0, NODE)
+        l1, l2 = NODE.real_eigenvalues
+        consts = []
+        for t in np.linspace(0.0, 0.6, 20):
+            u, v = traj.curve_exponent_relation(float(t))
+            consts.append(math.log(abs(v)) - (l1 / l2) * math.log(abs(u)))
+        assert len(consts) == 20
+        assert max(consts) - min(consts) < 1e-9
+
+
+class TestDegenerate:
+    def test_coefficients(self):
+        traj = DegenerateTrajectory(-4.0, 1.0, DEGEN)
+        lam = DEGEN.lambda1.real
+        assert traj.a3 == -4.0
+        assert traj.a4 == pytest.approx(1.0 - lam * (-4.0))
+
+    def test_invariant_line(self):
+        lam = DEGEN.lambda1.real
+        traj = DegenerateTrajectory(2.0, 2.0 * lam, DEGEN)
+        for t in (0.4, 1.3):
+            x, y = traj.state(t)
+            assert y == pytest.approx(lam * x, abs=1e-10)
+        assert traj.invariant_line() == pytest.approx(lam)
+
+    def test_paper_formula_eq34(self):
+        for x0, y0 in [(-4.0, 20.0), (-1.0, 5.0)]:
+            traj = DegenerateTrajectory(x0, y0, DEGEN)
+            paper = traj.extremum_x_paper_formula()
+            robust = traj.extremum_x()
+            if paper is not None and robust is not None:
+                assert paper == pytest.approx(robust, rel=1e-9)
+
+    def test_start_on_invariant_line_has_no_extremum(self):
+        # (-4, 8) sits exactly on y = lambda x (lambda = -2): monotone.
+        traj = DegenerateTrajectory(-4.0, 8.0, DEGEN)
+        assert traj.a4 == pytest.approx(0.0)
+        assert traj.first_y_zero_time() is None
+
+    def test_extremum_against_numeric_scan(self):
+        traj = DegenerateTrajectory(-4.0, 20.0, DEGEN)
+        assert traj.first_y_zero_time() is not None
+        ts = np.linspace(0.0, 8.0, 40001)
+        xs = traj.states(ts)[:, 0]
+        assert traj.extremum_x() == pytest.approx(float(xs.max()), rel=1e-6)
+
+    def test_degenerate_eigenvalue_is_minus_two_over_k(self):
+        # Paper erratum (Case 5): the text claims lambda_{1,2} = -1/k at
+        # the degenerate boundary, but the repeated root of
+        # lambda^2 + k n lambda + n = 0 at n = 4/k^2 is -k n / 2 = -2/k.
+        # The switching line is therefore NOT itself a trajectory; the
+        # strong-stability conclusion still holds (next test).
+        lam = DEGEN.lambda1.real
+        assert lam == pytest.approx(-2.0 / DEGEN.k)
+        assert lam != pytest.approx(-1.0 / DEGEN.k)
+
+    def test_no_recrossing_from_switching_line(self):
+        # Starting on x + k y = 0 the degenerate trajectory leaves the
+        # line but never crosses it again — which is what Case 5's
+        # stability conclusion actually needs.
+        traj = DegenerateTrajectory(1.0, -1.0 / DEGEN.k, DEGEN)
+        assert traj.first_line_crossing_time(DEGEN.k) is None

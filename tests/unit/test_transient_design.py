@@ -1,0 +1,153 @@
+"""Unit tests for repro.core.transient and repro.core.design."""
+
+import math
+
+import pytest
+
+from repro.core.design import (
+    design_report,
+    design_w,
+    headroom_ratio,
+    max_flows,
+    max_gi,
+    max_q0,
+    min_buffer,
+    min_gd,
+)
+from repro.core.limit_cycle import linearized_contraction
+from repro.core.parameters import BCNParams, NormalizedParams, paper_example_params
+from repro.core.phase_plane import PaperCase
+from repro.core.stability import required_buffer, theorem1_criterion
+from repro.core.transient import (
+    overshoot_ratio,
+    round_period,
+    settling_rounds,
+    settling_time,
+    transient_report,
+)
+
+
+def norm(a=2.0, b=0.02, k=0.1):
+    return NormalizedParams(a=a, b=b, k=k, capacity=100.0, q0=10.0,
+                            buffer_size=200.0)
+
+
+class TestTransient:
+    def test_round_period_formula(self):
+        p = norm()
+        beta_i = math.sqrt(p.a - (p.a * p.k / 2) ** 2)
+        beta_d = math.sqrt(p.b * p.capacity
+                           - (p.b * p.capacity * p.k / 2) ** 2)
+        assert round_period(p) == pytest.approx(
+            math.pi / beta_i + math.pi / beta_d)
+
+    def test_round_period_matches_composed_switch_spacing(self):
+        from repro.core.phase_plane import PhasePlaneAnalyzer
+
+        p = norm()
+        traj = PhasePlaneAnalyzer(p).compose(max_switches=8)
+        times = [t for t, _, _ in traj.switch_states]
+        # after the first partial round, crossings come every half-round
+        spacing = times[3] - times[1]
+        assert spacing == pytest.approx(round_period(p), rel=1e-9)
+
+    def test_round_period_rejects_node_cases(self):
+        with pytest.raises(ValueError):
+            round_period(norm(a=8.0, k=1.0))
+
+    def test_settling_rounds_consistency(self):
+        p = norm()
+        rho = linearized_contraction(p)
+        n = settling_rounds(p, fraction=0.01)
+        assert rho**n == pytest.approx(0.01, rel=1e-9)
+        assert settling_time(p) == pytest.approx(n * round_period(p))
+
+    def test_settling_fraction_validation(self):
+        with pytest.raises(ValueError):
+            settling_rounds(norm(), fraction=1.5)
+
+    def test_overshoot_ratio_by_case(self):
+        assert overshoot_ratio(norm()) > 0  # case 1
+        assert overshoot_ratio(norm(a=8.0, b=0.02, k=1.0)) > 0  # case 2
+        assert overshoot_ratio(norm(a=2.0, b=0.08, k=1.0)) == 0.0  # case 3
+        assert overshoot_ratio(norm(a=8.0, b=0.08, k=1.0)) == 0.0  # case 4
+
+    def test_report_case1_fields(self):
+        report = transient_report(norm())
+        assert report.case is PaperCase.CASE1
+        assert report.contraction is not None and report.contraction < 1
+        assert report.round_period is not None
+        assert report.settling_time_1pct is not None
+        assert "rho=" in report.summary()
+
+    def test_report_case3_fields(self):
+        report = transient_report(norm(a=2.0, b=0.08, k=1.0))
+        assert report.contraction is None
+        assert report.overshoot_ratio == 0.0
+        assert report.crossings == 1
+
+    def test_report_physical_includes_warmup(self):
+        report = transient_report(paper_example_params(), max_switches=20)
+        assert report.warmup_time == pytest.approx(
+            paper_example_params().warmup_duration())
+
+
+class TestDesign:
+    def params(self, **overrides):
+        config = dict(capacity=10e9, n_flows=50, q0=2.5e6, buffer_size=20e6)
+        config.update(overrides)
+        return BCNParams(**config)
+
+    def test_headroom(self):
+        p = self.params()
+        assert headroom_ratio(p) == pytest.approx(
+            20e6 / required_buffer(p))
+
+    def test_max_flows_is_tight(self):
+        p = self.params()
+        n_max = max_flows(p)
+        assert theorem1_criterion(p.with_(n_flows=n_max))
+        assert not theorem1_criterion(p.with_(n_flows=n_max + 1))
+
+    def test_max_gi_is_tight(self):
+        p = self.params()
+        gi_max = max_gi(p)
+        assert theorem1_criterion(p.with_(gi=gi_max * 0.999))
+        assert not theorem1_criterion(p.with_(gi=gi_max * 1.001))
+
+    def test_min_gd_is_tight(self):
+        p = self.params()
+        gd_min = min_gd(p)
+        assert theorem1_criterion(p.with_(gd=gd_min * 1.001))
+        assert not theorem1_criterion(p.with_(gd=gd_min * 0.999))
+
+    def test_max_q0_is_tight(self):
+        p = self.params()
+        q0_max = max_q0(p)
+        assert theorem1_criterion(p.with_(q0=q0_max * 0.999))
+        assert not theorem1_criterion(p.with_(q0=q0_max * 1.001))
+
+    def test_min_buffer_alias(self):
+        p = self.params()
+        assert min_buffer(p) == required_buffer(p)
+
+    def test_design_w_achieves_target(self):
+        # gentle regime where a Case-1 solution exists
+        p = BCNParams(capacity=1e9, n_flows=10, q0=2e6, buffer_size=16e6,
+                      pm=0.1, gd=1e-5, ru=400.0)
+        target = 0.5
+        w = design_w(p, settle_seconds=target)
+        achieved = settling_time(p.with_(w=w))
+        assert achieved == pytest.approx(target, rel=0.05)
+
+    def test_design_w_validation(self):
+        with pytest.raises(ValueError):
+            design_w(self.params(), settle_seconds=0.0)
+
+    def test_design_report_verdicts(self):
+        ok = design_report(self.params())
+        assert ok.admitted
+        assert "ADMITTED" in ok.render()
+        bad = design_report(self.params(buffer_size=5e6))
+        assert not bad.admitted
+        assert "REJECTED" in bad.render()

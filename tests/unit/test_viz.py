@@ -1,0 +1,99 @@
+"""Unit tests for repro.viz (ASCII plots + series export)."""
+
+import numpy as np
+import pytest
+
+from repro.viz.ascii import AsciiCanvas, line_plot, phase_plot
+from repro.viz.series import downsample, format_table, write_csv
+
+
+class TestCanvas:
+    def test_plots_marker_at_data_point(self):
+        canvas = AsciiCanvas(20, 10, x_range=(0.0, 1.0), y_range=(0.0, 1.0))
+        canvas.plot([0.5], [0.5], marker="@")
+        assert "@" in canvas.render()
+
+    def test_clips_out_of_range(self):
+        canvas = AsciiCanvas(20, 10, x_range=(0.0, 1.0), y_range=(0.0, 1.0))
+        canvas.plot([5.0], [5.0])
+        assert "*" not in canvas.render()
+
+    def test_nan_skipped(self):
+        canvas = AsciiCanvas(20, 10, x_range=(0.0, 1.0), y_range=(0.0, 1.0))
+        canvas.plot([np.nan, 0.5], [0.5, np.nan])
+        assert "*" not in canvas.render()
+
+    def test_guide_lines(self):
+        canvas = AsciiCanvas(20, 10, x_range=(-1.0, 1.0), y_range=(-1.0, 1.0))
+        canvas.hline(0.0)
+        canvas.vline(0.0)
+        rendered = canvas.render()
+        assert "-" in rendered.replace("+--", "")  # interior guide
+        assert "|" in rendered
+
+    def test_render_has_frame_and_ranges(self):
+        canvas = AsciiCanvas(20, 10, x_range=(0.0, 2.0), y_range=(0.0, 4.0))
+        out = canvas.render(title="demo")
+        assert out.startswith("demo\n+")
+        assert "x: [0, 2]" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AsciiCanvas(2, 2, x_range=(0, 1), y_range=(0, 1))
+        with pytest.raises(ValueError):
+            AsciiCanvas(20, 10, x_range=(1.0, 1.0), y_range=(0, 1))
+
+
+class TestHighLevelPlots:
+    def test_phase_plot_renders(self):
+        theta = np.linspace(0.0, 6.0, 200)
+        out = phase_plot(np.cos(theta), np.sin(theta), switching_k=1.0,
+                         title="circle")
+        assert "circle" in out
+        assert out.count("*") > 20
+
+    def test_line_plot_with_reference(self):
+        t = np.linspace(0.0, 1.0, 100)
+        out = line_plot(t, np.sin(6 * t), reference=0.0)
+        assert "=" in out
+
+
+class TestSeries:
+    def test_write_csv_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "s.csv", {"t": np.array([0.0, 1.0]),
+                                              "v": np.array([2.0, 3.0])})
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "t,v"
+        assert lines[1] == "0,2"
+
+    def test_write_csv_validates_lengths(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "s.csv", {"a": np.array([1.0]),
+                                           "b": np.array([1.0, 2.0])})
+
+    def test_write_csv_requires_columns(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "s.csv", {})
+
+    def test_downsample_keeps_endpoints(self):
+        t = np.arange(1000.0)
+        (thin,) = downsample(t, max_points=50)
+        assert thin.size <= 50
+        assert thin[0] == 0.0
+        assert thin[-1] == 999.0
+
+    def test_downsample_noop_when_small(self):
+        t = np.arange(10.0)
+        (thin,) = downsample(t, max_points=50)
+        assert thin.size == 10
+
+    def test_downsample_parallel_validation(self):
+        with pytest.raises(ValueError):
+            downsample(np.arange(5.0), np.arange(6.0))
+
+    def test_format_table_alignment(self):
+        out = format_table(["name", "value"], [["a", 1.23456], ["bb", 2.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in out  # default .4g formatting
+        assert len(lines) == 4

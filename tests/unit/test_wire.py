@@ -1,0 +1,68 @@
+"""Unit tests for the Fig. 2 wire format (repro.simulation.wire)."""
+
+import pytest
+
+from repro.simulation.frames import BCN_ETHERTYPE, BCNMessage
+from repro.simulation.wire import (
+    WIRE_LENGTH_BYTES,
+    pack_bcn,
+    unpack_bcn,
+)
+
+
+def message(fb=-5.0, da=7, cpid="core-0"):
+    return BCNMessage(da=da, sa="sw", cpid=cpid, fb=fb, q_off=0.0,
+                      q_delta=0.0, fb_raw=fb)
+
+
+class TestPacking:
+    def test_frame_is_26_bytes(self):
+        assert len(pack_bcn(message())) == WIRE_LENGTH_BYTES == 26
+
+    def test_round_trip_preserves_fields(self):
+        wire = unpack_bcn(pack_bcn(message(fb=-12.0, da=42),
+                                   switch_address=0xABCDEF))
+        assert wire.da == 42
+        assert wire.sa == 0xABCDEF
+        assert wire.ethertype == BCN_ETHERTYPE
+        assert wire.is_bcn
+        assert wire.fb_quanta == -12
+        assert not wire.positive
+
+    def test_positive_feedback_flag(self):
+        wire = unpack_bcn(pack_bcn(message(fb=3.0)))
+        assert wire.positive
+
+    def test_sigma_quantum_scales_fb(self):
+        wire = unpack_bcn(pack_bcn(message(fb=-1000.0), sigma_quantum=250.0))
+        assert wire.fb_quanta == -4
+
+    def test_fb_saturates_at_32_bits(self):
+        wire = unpack_bcn(pack_bcn(message(fb=-1e30)))
+        assert wire.fb_quanta == -(2**31)
+        wire = unpack_bcn(pack_bcn(message(fb=1e30)))
+        assert wire.fb_quanta == 2**31 - 1
+
+    def test_distinct_cpids_distinct_wire_values(self):
+        w1 = unpack_bcn(pack_bcn(message(cpid="core-0")))
+        w2 = unpack_bcn(pack_bcn(message(cpid="core-1")))
+        assert w1.cpid != w2.cpid
+
+    def test_same_cpid_is_stable(self):
+        w1 = unpack_bcn(pack_bcn(message(cpid="p0a1->p0e0")))
+        w2 = unpack_bcn(pack_bcn(message(cpid="p0a1->p0e0")))
+        assert w1.cpid == w2.cpid
+
+
+class TestValidation:
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            unpack_bcn(b"\x00" * 10)
+
+    def test_rejects_oversized_address(self):
+        with pytest.raises(ValueError):
+            pack_bcn(message(da=2**48))
+
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(ValueError):
+            pack_bcn(message(), sigma_quantum=0.0)

@@ -1,0 +1,130 @@
+"""Unit tests for repro.workloads."""
+
+import pytest
+
+from repro.workloads.flows import FlowSpec
+from repro.workloads.generators import (
+    OnOffSchedule,
+    homogeneous,
+    incast,
+    on_off,
+    parallel_io,
+    staggered,
+)
+
+
+class TestFlowSpec:
+    def test_valid_spec(self):
+        spec = FlowSpec(flow_id=0, src="a", dst="b", demand=1e9)
+        assert spec.size_bits is None
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(demand=0.0),
+        dict(start_time=-1.0),
+        dict(size_bits=0.0),
+    ])
+    def test_validation(self, kwargs):
+        base = dict(flow_id=0, src="a", dst="b", demand=1e9)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            FlowSpec(**base)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            FlowSpec(flow_id=0, src="a", dst="a", demand=1e9)
+
+
+class TestGenerators:
+    def test_homogeneous(self):
+        flows = homogeneous(["h0", "h1", "h2"], "sink", demand=1e8)
+        assert len(flows) == 3
+        assert {f.flow_id for f in flows} == {0, 1, 2}
+        assert all(f.dst == "sink" and f.demand == 1e8 for f in flows)
+        assert all(f.size_bits is None for f in flows)
+
+    def test_homogeneous_requires_sources(self):
+        with pytest.raises(ValueError):
+            homogeneous([], "sink", demand=1e8)
+
+    def test_incast_is_finite_and_synchronized(self):
+        flows = incast(["s0", "s1"], "client", response_bits=1e6, demand=1e9)
+        assert all(f.size_bits == 1e6 for f in flows)
+        assert all(f.start_time == 0.0 for f in flows)
+        assert all(f.dst == "client" for f in flows)
+
+    def test_parallel_io_write_direction(self):
+        flows = parallel_io(["c0", "c1"], ["s0", "s1", "s2"],
+                            stripe_bits=1e6, demand=1e9, write=True)
+        assert len(flows) == 6
+        assert all(f.src.startswith("c") and f.dst.startswith("s")
+                   for f in flows)
+
+    def test_parallel_io_read_direction(self):
+        flows = parallel_io(["c0"], ["s0", "s1"], stripe_bits=1e6,
+                            demand=1e9, write=False)
+        assert all(f.src.startswith("s") and f.dst == "c0" for f in flows)
+
+    def test_staggered_spacing(self):
+        flows = staggered(["h0", "h1", "h2"], "sink", demand=1e8,
+                          interval=0.5)
+        assert [f.start_time for f in flows] == [0.0, 0.5, 1.0]
+
+
+class TestOnOff:
+    def test_schedule_deterministic(self):
+        s1 = OnOffSchedule(3, mean_on=1.0, mean_off=1.0, horizon=10.0, seed=7)
+        s2 = OnOffSchedule(3, mean_on=1.0, mean_off=1.0, horizon=10.0, seed=7)
+        assert s1.intervals == s2.intervals
+
+    def test_different_seeds_differ(self):
+        s1 = OnOffSchedule(3, mean_on=1.0, mean_off=1.0, horizon=10.0, seed=1)
+        s2 = OnOffSchedule(3, mean_on=1.0, mean_off=1.0, horizon=10.0, seed=2)
+        assert s1.intervals != s2.intervals
+
+    def test_intervals_within_horizon(self):
+        sched = OnOffSchedule(5, mean_on=2.0, mean_off=1.0, horizon=20.0)
+        for spans in sched.intervals:
+            for on, off in spans:
+                assert 0.0 <= on <= off <= 20.0
+
+    def test_duty_cycle_roughly_matches_means(self):
+        sched = OnOffSchedule(40, mean_on=3.0, mean_off=1.0, horizon=500.0,
+                              seed=0)
+        duty = sum(sched.duty_cycle(i) for i in range(40)) / 40
+        assert 0.6 <= duty <= 0.9  # expectation 0.75
+
+    def test_active_at(self):
+        sched = OnOffSchedule(1, mean_on=1.0, mean_off=1.0, horizon=10.0,
+                              seed=3)
+        on, off = sched.intervals[0][0]
+        mid = (on + off) / 2
+        assert sched.active_at(0, mid)
+
+    def test_on_off_helper(self):
+        flows, sched = on_off(["h0", "h1"], "sink", demand=1e8, mean_on=1.0,
+                              mean_off=1.0, horizon=5.0)
+        assert len(flows) == 2
+        assert len(sched.intervals) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnOffSchedule(1, mean_on=0.0, mean_off=1.0, horizon=5.0)
+
+
+class TestShuffle:
+    def test_all_pairs(self):
+        from repro.workloads.generators import shuffle
+
+        flows = shuffle(["a", "b", "c"], transfer_bits=1e6, demand=1e9)
+        assert len(flows) == 6
+        pairs = {(f.src, f.dst) for f in flows}
+        assert ("a", "b") in pairs and ("c", "a") in pairs
+        assert all(f.src != f.dst for f in flows)
+        assert all(f.size_bits == 1e6 for f in flows)
+
+    def test_requires_two_hosts(self):
+        from repro.workloads.generators import shuffle
+
+        import pytest
+        with pytest.raises(ValueError):
+            shuffle(["solo"], transfer_bits=1e6, demand=1e9)
