@@ -17,12 +17,36 @@ import math
 
 import pytest
 
+from repro.analysis.sweeps import sweep
 from repro.analysis.validation import fluid_vs_packet
 from repro.core.limit_cycle import linearized_contraction
-from repro.core.parameters import paper_example_params
+from repro.core.parameters import BCNParams, paper_example_params
 from repro.core.stability import required_buffer
 from repro.experiments.v2_fluid_vs_packet import validation_params
+from repro.runner import run_sweep_parallel
 from repro.simulation.network import BCNNetworkSimulator
+
+
+def _a3_evaluate(p: BCNParams) -> dict:
+    """A3 grid point: Theorem 1 buffer vs per-round contraction."""
+    return {
+        "buffer_mbit": required_buffer(p) / 1e6,
+        "rho": linearized_contraction(p.normalized()),
+    }
+
+
+def _a4_evaluate(p: BCNParams) -> dict:
+    """A4 grid point: one packet-level run at a PAUSE threshold.
+
+    Module-level so the parallel runner can pickle it by reference.
+    """
+    net = BCNNetworkSimulator(p, regulator_mode="message", enable_pause=True)
+    res = net.run(0.02)
+    return {
+        "pauses": res.pauses,
+        "drops": res.dropped_frames,
+        "util": res.utilization(),
+    }
 
 
 class TestSamplingDiscipline:
@@ -86,21 +110,14 @@ class TestRegulatorSemantics:
 class TestGainTradeoff:
     def test_a3_buffer_vs_convergence(self, benchmark):
         base = paper_example_params()
+        axes = {"gi": [8.0, 4.0, 2.0, 1.0, 0.5]}
 
-        def evaluate():
-            rows = []
-            for gi in (8.0, 4.0, 2.0, 1.0, 0.5):
-                p = base.with_(gi=gi)
-                rho = linearized_contraction(p.normalized())
-                rows.append((gi, required_buffer(p) / 1e6, rho))
-            return rows
-
-        rows = benchmark(evaluate)
+        result = benchmark(lambda: sweep(base, axes, _a3_evaluate))
         print("\nA3: Gi  buffer(Mbit)  contraction/round")
-        for gi, buf, rho in rows:
-            print(f"    {gi:<4} {buf:<12.2f} {rho:.6f}")
-        buffers = [b for _, b, _ in rows]
-        rhos = [r for _, _, r in rows]
+        for r in result.records:
+            print(f"    {r['gi']:<4} {r['buffer_mbit']:<12.2f} {r['rho']:.6f}")
+        buffers = result.column("buffer_mbit")
+        rhos = result.column("rho")
         # smaller Gi: less buffer needed ...
         assert buffers == sorted(buffers, reverse=True)
         # ... but weaker contraction (rho closer to 1 = slower settling)
@@ -136,23 +153,22 @@ class TestPauseBackstop:
 
     def test_a4_pause_threshold_sweep(self, benchmark):
         params = paper_example_params()
+        axes = {"q_sc": [frac * params.buffer_size
+                         for frac in (0.4, 0.7, 0.95)]}
 
-        def sweep():
-            rows = []
-            for frac in (0.4, 0.7, 0.95):
-                p = params.with_(q_sc=frac * params.buffer_size)
-                net = BCNNetworkSimulator(p, regulator_mode="message",
-                                          enable_pause=True)
-                res = net.run(0.02)
-                rows.append((frac, res.pauses, res.dropped_frames,
-                             res.utilization()))
-            return rows
+        def run_sweep():
+            return run_sweep_parallel(params, axes, _a4_evaluate, workers=2)
 
-        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+        # parallel execution preserves the serial reference ordering
+        assert result.column("q_sc") == axes["q_sc"]
         print("\nA4: q_sc/B  pauses  drops  util")
-        for frac, pauses, drops, util in rows:
-            print(f"    {frac:<6} {pauses:<7} {drops:<6} {util:.3f}")
+        for r in result.records:
+            frac = r["q_sc"] / params.buffer_size
+            print(f"    {frac:<6.2f} {r['pauses']:<7} {r['drops']:<6} "
+                  f"{r['util']:.3f}")
+        pauses = result.column("pauses")
         # a low threshold must fire at least as often as a high one
-        assert rows[0][1] >= rows[-1][1]
+        assert pauses[0] >= pauses[-1]
         # the system stays functional across the sweep
-        assert all(util > 0.5 for _, _, _, util in rows)
+        assert all(util > 0.5 for util in result.column("util"))

@@ -11,11 +11,30 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping
+
+import numpy as np
 
 from ..core.parameters import BCNParams
 
 __all__ = ["SweepResult", "sweep", "grid"]
+
+
+def _format_cell(value: Any) -> str:
+    """One CSV cell, following ``viz.series.write_csv`` conventions.
+
+    Floats use the same ``.10g`` format as the series writer; anything
+    else is stringified and RFC-4180-quoted when it contains a comma,
+    quote or newline (bare ``str()`` joins would corrupt the row).
+    """
+    if isinstance(value, (float, np.floating)):
+        text = format(float(value), ".10g")
+    else:
+        text = str(value)
+    if any(ch in text for ch in (",", '"', "\n", "\r")):
+        text = '"' + text.replace('"', '""') + '"'
+    return text
 
 
 @dataclass
@@ -41,15 +60,20 @@ class SweepResult:
         """Project records onto a key list, for tabular printing."""
         return [[r.get(k) for k in keys] for r in self.records]
 
-    def to_csv(self, path: str, keys: list[str] | None = None) -> None:
-        """Write the records to a CSV file."""
+    def to_csv(self, path: str | Path, keys: list[str] | None = None) -> Path:
+        """Write the records to a CSV file (floats in ``.10g``, quoted cells)."""
         if not self.records:
             raise ValueError("no records to write")
         cols = keys if keys is not None else sorted(self.records[0])
-        with open(path, "w") as fh:
-            fh.write(",".join(cols) + "\n")
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as fh:
+            fh.write(",".join(_format_cell(c) for c in cols) + "\n")
             for record in self.records:
-                fh.write(",".join(str(record.get(c, "")) for c in cols) + "\n")
+                fh.write(
+                    ",".join(_format_cell(record.get(c, "")) for c in cols) + "\n"
+                )
+        return path
 
 
 def grid(**axes: Iterable[Any]) -> list[dict[str, Any]]:

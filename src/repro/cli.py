@@ -139,6 +139,14 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     argv = list(args.ids)
     if args.csv:
         argv += ["--csv", args.csv]
+    if args.parallel:
+        argv += ["--parallel"]
+    if args.workers is not None:
+        argv += ["--workers", str(args.workers)]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    if args.no_cache:
+        argv += ["--no-cache"]
     return experiments_main(argv)
 
 
@@ -183,6 +191,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiments", help="run paper reproductions")
     p_exp.add_argument("ids", nargs="*")
     p_exp.add_argument("--csv")
+    p_exp.add_argument("--parallel", action="store_true",
+                       help="run via the process-pool runner")
+    p_exp.add_argument("--workers", type=int, default=None,
+                       help="pool size for --parallel (default: cpu count)")
+    p_exp.add_argument("--cache-dir", metavar="DIR",
+                       help="content-addressed result cache directory")
+    p_exp.add_argument("--no-cache", action="store_true",
+                       help="ignore --cache-dir (cache disabled)")
     p_exp.set_defaults(func=_cmd_experiments)
 
     p_report = sub.add_parser(

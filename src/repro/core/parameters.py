@@ -236,6 +236,10 @@ class NormalizedParams:
         """Feedback measure ``sigma = -(x + k y)`` at a normalised state."""
         return -(x + self.k * y)
 
+    def with_(self, **changes: Any) -> "NormalizedParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
     def to_physical(
         self,
         *,

@@ -11,6 +11,13 @@ peak of the composed trajectory from ``(-q0, 0)`` and check:
   node-decrease cases (3-5) the true peak is 0 (no overshoot), making
   the bound maximally conservative there — exactly the structure the
   paper's proof exhibits.
+
+The grid runs through the sweep harness
+(:func:`repro.analysis.sweeps.sweep` serially, or
+:func:`repro.runner.run_sweep_parallel` with ``parallel=True``) so the
+``repro experiments v1 --parallel --cache-dir DIR`` CLI path exercises
+the process pool and the result cache while producing records identical
+to the serial reference.
 """
 
 from __future__ import annotations
@@ -19,43 +26,81 @@ import math
 
 import numpy as np
 
+from ..analysis.sweeps import sweep
 from ..core.parameters import NormalizedParams
 from ..core.phase_plane import PhasePlaneAnalyzer, classify_case
 from .base import ExperimentResult, register
 
-__all__ = ["run"]
+__all__ = ["run", "AXES", "evaluate_point", "base_point"]
+
+#: Sweep grid of Section IV.A normalised parameters (spans Cases 1-4).
+AXES = {
+    "a": [0.5, 2.0, 8.0, 32.0],
+    "b": [0.005, 0.02, 0.08],
+    "k": [0.05, 0.2, 1.0],
+}
+
+
+def base_point() -> NormalizedParams:
+    """Base parameterisation the grid overrides (first point of AXES)."""
+    return NormalizedParams(a=AXES["a"][0], b=AXES["b"][0], k=AXES["k"][0],
+                            capacity=100.0, q0=10.0, buffer_size=1e9)
+
+
+def evaluate_point(p: NormalizedParams) -> dict[str, object]:
+    """One grid point: case label, Theorem 1 bound, exact peak, tightness.
+
+    Module-level and pure so the parallel runner can pickle it and the
+    cache can replay it.
+    """
+    case = classify_case(p).value
+    bound = p.q0 * math.sqrt(p.a / (p.b * p.capacity))
+    traj = PhasePlaneAnalyzer(p).compose(max_switches=60)
+    peak = max(0.0, traj.max_x())
+    return {"case": case, "bound": bound, "peak": peak,
+            "tightness": peak / bound}
 
 
 @register("v1")
-def run(*, render_plots: bool = True) -> ExperimentResult:
+def run(
+    *,
+    render_plots: bool = True,
+    parallel: bool = False,
+    workers: int | None = None,
+    cache_dir: str | None = None,
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="v1",
         title="Theorem 1 bound vs exact transient peak (sweep)",
         table_headers=["a", "b", "k", "case", "bound", "peak", "tightness"],
     )
 
+    if parallel or cache_dir is not None:
+        from ..runner import ResultCache, RunnerStats, run_sweep_parallel
+
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        stats = RunnerStats()
+        swept = run_sweep_parallel(
+            base_point(), AXES, evaluate_point,
+            workers=workers if parallel else 0,
+            cache=cache, cache_id="v1", stats=stats,
+        )
+        result.notes.extend(stats.notes())
+    else:
+        swept = sweep(base_point(), AXES, evaluate_point)
+
     sound = True
     tightness_by_case: dict[str, list[float]] = {}
-    rows_a, rows_bound, rows_peak = [], [], []
-    for a in (0.5, 2.0, 8.0, 32.0):
-        for b in (0.005, 0.02, 0.08):
-            for k in (0.05, 0.2, 1.0):
-                p = NormalizedParams(a=a, b=b, k=k, capacity=100.0, q0=10.0,
-                                     buffer_size=1e9)
-                case = classify_case(p).value
-                bound = p.q0 * math.sqrt(a / (b * p.capacity))
-                traj = PhasePlaneAnalyzer(p).compose(max_switches=60)
-                peak = max(0.0, traj.max_x())
-                tight = peak / bound
-                sound = sound and peak <= bound * (1 + 1e-9)
-                tightness_by_case.setdefault(case, []).append(tight)
-                result.table_rows.append([a, b, k, case, bound, peak, tight])
-                rows_a.append(a)
-                rows_bound.append(bound)
-                rows_peak.append(peak)
+    for r in swept.records:
+        sound = sound and r["peak"] <= r["bound"] * (1 + 1e-9)
+        tightness_by_case.setdefault(r["case"], []).append(r["tightness"])
+        result.table_rows.append(
+            [r["a"], r["b"], r["k"], r["case"], r["bound"], r["peak"],
+             r["tightness"]]
+        )
 
-    result.series["bound"] = np.array(rows_bound)
-    result.series["peak"] = np.array(rows_peak)
+    result.series["bound"] = np.array(swept.column("bound"))
+    result.series["peak"] = np.array(swept.column("peak"))
     result.verdicts["bound_never_exceeded"] = sound
 
     spiral_tight = tightness_by_case.get("case1", []) + tightness_by_case.get("case2", [])

@@ -1,0 +1,209 @@
+"""Content-addressed on-disk result cache for experiments and sweeps.
+
+A cache entry is addressed by the SHA-256 of ``(experiment id,
+canonicalised params, package version)``:
+
+* **experiment id** — the registry id (``"v1"``) or an explicit
+  ``cache_id`` for sweep grids;
+* **canonicalised params** — the parameter payload rendered as JSON with
+  sorted keys, so two dicts that differ only in insertion order map to
+  the same key, while any change of value (or of the base
+  parameterisation) changes the key;
+* **package version** — ``repro.__version__``, so a version bump
+  invalidates every entry without touching the directory.
+
+Values are stored with :mod:`pickle` (records carry numpy arrays and
+:class:`~repro.experiments.base.ExperimentResult` objects) under
+``<dir>/<experiment id>/<key>.pkl``, written atomically.  A corrupted or
+unreadable entry is treated as a miss — the file is removed and the
+caller recomputes; the cache never raises on load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["CacheStats", "ResultCache", "canonical_key", "canonicalize"]
+
+_MISS = object()
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to JSON-stable primitives (sorted, order-free).
+
+    Dataclasses become field dicts, mappings get sorted keys, and
+    tuples/sets become lists (sets sorted by their repr to fix an
+    order).  Anything not JSON-serialisable falls back to ``repr``.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: canonicalize(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): canonicalize(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((canonicalize(v) for v in value), key=repr)
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        # repr round-trips doubles exactly; json would too, but NaN/inf
+        # are not valid JSON, so normalise through repr (coerced, so
+        # numpy float subclasses hash identically to Python floats).
+        return repr(float(value))
+    if hasattr(value, "item") and callable(value.item):  # numpy scalars
+        return canonicalize(value.item())
+    return repr(value)
+
+
+def canonical_key(experiment_id: str, params: Any, version: str) -> str:
+    """Hex digest addressing one ``(id, params, version)`` result."""
+    payload = json.dumps(
+        {"id": experiment_id, "params": canonicalize(params), "version": version},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when none)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.hits}/{self.lookups} hits "
+            f"({100.0 * self.hit_rate:.0f}%), {self.stores} stored"
+            + (f", {self.corrupt} corrupt dropped" if self.corrupt else "")
+        )
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed pickle cache rooted at ``directory``.
+
+    Parameters
+    ----------
+    directory:
+        Root of the cache tree; created on first store.
+    version:
+        Version string mixed into every key; defaults to
+        ``repro.__version__`` so upgrading the package invalidates old
+        entries.
+    """
+
+    directory: Path
+    version: str | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+        if self.version is None:
+            from .. import __version__
+
+            self.version = __version__
+
+    # -- addressing ---------------------------------------------------------
+
+    def key(self, experiment_id: str, params: Any) -> str:
+        """Content address of ``(experiment_id, params)`` at this version."""
+        return canonical_key(experiment_id, params, self.version)
+
+    def path(self, experiment_id: str, params: Any) -> Path:
+        """On-disk location of the entry (which may not exist)."""
+        return self.directory / experiment_id / f"{self.key(experiment_id, params)}.pkl"
+
+    # -- lookup / store -----------------------------------------------------
+
+    def get(self, experiment_id: str, params: Any, default: Any = None) -> Any:
+        """Cached value, or ``default`` on a miss.
+
+        A corrupted entry (truncated pickle, wrong permissions, …) is
+        dropped and counted as a miss; the cache never raises here.
+        """
+        path = self.path(experiment_id, params)
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return default
+        except Exception:
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return default
+        self.stats.hits += 1
+        return value
+
+    def contains(self, experiment_id: str, params: Any) -> bool:
+        """Whether a (possibly corrupt) entry exists; no stats update."""
+        return self.path(experiment_id, params).exists()
+
+    def put(self, experiment_id: str, params: Any, value: Any) -> Path:
+        """Store ``value`` atomically; returns the entry path."""
+        path = self.path(experiment_id, params)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    # -- maintenance --------------------------------------------------------
+
+    def _entries(self, experiment_id: str | None = None) -> Iterator[Path]:
+        root = self.directory if experiment_id is None else self.directory / experiment_id
+        if not root.is_dir():
+            return iter(())
+        return root.rglob("*.pkl")
+
+    def invalidate(self, experiment_id: str | None = None) -> int:
+        """Remove entries for one experiment (or all); returns the count."""
+        removed = 0
+        for path in list(self._entries(experiment_id)):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def size(self, experiment_id: str | None = None) -> int:
+        """Number of entries on disk (all experiments by default)."""
+        return sum(1 for _ in self._entries(experiment_id))

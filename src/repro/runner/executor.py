@@ -1,0 +1,163 @@
+"""Parallel, cached execution of the experiment registry.
+
+:func:`run_experiments` runs a set of registered experiments
+(:func:`repro.experiments.base.all_experiments`) with the same three
+ingredients as the sweep runner: a process pool, a
+:class:`~repro.runner.cache.ResultCache` holding whole
+:class:`~repro.experiments.base.ExperimentResult` objects, and
+:class:`~repro.runner.instrumentation.RunnerStats` timing.  Results are
+always returned in the requested id order, whatever order the pool
+completes them in.
+
+Option handling
+---------------
+``options`` is filtered per experiment against the ``run`` signature, so
+runner-aware experiments (e.g. ``v1``'s ``parallel``/``workers``/
+``cache_dir`` knobs) receive them while plain experiments only see what
+they accept (typically ``render_plots``).  When more than one experiment
+is dispatched to a pool, the execution knobs are stripped so worker
+processes never spawn nested pools.  Execution knobs are also excluded
+from the cache key — they change how a result is computed, never what it
+is (the differential tests guarantee that), so a serial run primes the
+cache for a parallel one.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from typing import Any, Mapping
+
+from ..experiments.base import ExperimentResult, all_experiments, get_experiment
+from .cache import ResultCache
+from .instrumentation import RunnerStats
+from .parallel import resolve_workers
+
+__all__ = ["run_experiments"]
+
+#: Options that select an execution strategy rather than an experiment
+#: outcome; stripped from cache keys and from pooled dispatch.
+EXECUTION_OPTIONS = frozenset({"parallel", "workers", "cache_dir"})
+
+_MISS = object()
+
+
+def _accepted_options(run, options: Mapping[str, Any]) -> dict[str, Any]:
+    """Subset of ``options`` the experiment's ``run`` signature accepts."""
+    parameters = inspect.signature(run).parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
+        return dict(options)
+    return {k: v for k, v in options.items() if k in parameters}
+
+
+def _cache_params(options: Mapping[str, Any]) -> dict[str, Any]:
+    return {
+        "options": {k: v for k, v in options.items() if k not in EXECUTION_OPTIONS}
+    }
+
+
+def _run_one(experiment_id: str, options: dict[str, Any]) -> tuple[ExperimentResult, float]:
+    """Worker entry point: run one registered experiment, timed."""
+    import repro.experiments  # noqa: F401 — registration side effects
+
+    run = get_experiment(experiment_id)
+    t0 = time.perf_counter()
+    result = run(**options)
+    return result, time.perf_counter() - t0
+
+
+def run_experiments(
+    ids: list[str] | None = None,
+    *,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    options: Mapping[str, Any] | None = None,
+    stats: RunnerStats | None = None,
+) -> list[tuple[str, ExperimentResult]]:
+    """Run experiments by id, in parallel and through the cache.
+
+    Parameters
+    ----------
+    ids:
+        Experiment ids to run (default: every registered experiment,
+        sorted).
+    workers:
+        Pool size; ``None`` means ``os.cpu_count()``, ``0``/``1`` runs
+        inline.  A single requested experiment always runs inline — its
+        own sweep-level parallelism (if any) is the useful axis there.
+    cache:
+        Optional :class:`ResultCache`; hits skip the run entirely and
+        are annotated in the result's notes.
+    options:
+        Keyword options offered to every ``run``, filtered per
+        signature (see module docstring).
+    stats:
+        Optional :class:`RunnerStats` to populate (one work unit per
+        experiment).
+    """
+    started = time.perf_counter()
+    if ids is None:
+        ids = sorted(all_experiments())
+    options = dict(options or {})
+    n_workers = resolve_workers(workers)
+    pooled = n_workers > 1 and len(ids) > 1
+    stats = stats if stats is not None else RunnerStats()
+    stats.workers = max(1, n_workers) if pooled else 1
+    stats.cache = cache.stats if cache is not None else None
+
+    per_id_options: dict[str, dict[str, Any]] = {}
+    for experiment_id in ids:
+        accepted = _accepted_options(get_experiment(experiment_id), options)
+        if pooled:
+            accepted = {k: v for k, v in accepted.items()
+                        if k not in EXECUTION_OPTIONS}
+        per_id_options[experiment_id] = accepted
+
+    results: dict[str, ExperimentResult] = {}
+    pending: list[str] = []
+    for experiment_id in ids:
+        if cache is not None:
+            entry = cache.get(
+                experiment_id, _cache_params(per_id_options[experiment_id]), _MISS
+            )
+            if entry is not _MISS:
+                result, stored_wall = entry["result"], entry["wall"]
+                result.notes.append(
+                    f"runner: cache hit (previous wall {stored_wall:.3f}s)"
+                )
+                results[experiment_id] = result
+                stats.record(experiment_id, 0.0, cached=True)
+                continue
+        pending.append(experiment_id)
+
+    def finish(experiment_id: str, result: ExperimentResult, wall: float) -> None:
+        stats.record(experiment_id, wall)
+        if cache is not None:
+            cache.put(
+                experiment_id,
+                _cache_params(per_id_options[experiment_id]),
+                {"result": result, "wall": wall},
+            )
+        result.notes.append(f"runner: computed in {wall:.3f}s")
+        results[experiment_id] = result
+
+    if pending:
+        if not pooled:
+            for experiment_id in pending:
+                result, wall = _run_one(experiment_id, per_id_options[experiment_id])
+                finish(experiment_id, result, wall)
+        else:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                futures = {
+                    pool.submit(_run_one, experiment_id,
+                                per_id_options[experiment_id]): experiment_id
+                    for experiment_id in pending
+                }
+                for future, experiment_id in futures.items():
+                    result, wall = future.result()
+                    finish(experiment_id, result, wall)
+
+    stats.elapsed = time.perf_counter() - started
+    return [(experiment_id, results[experiment_id]) for experiment_id in ids]

@@ -1,0 +1,126 @@
+"""Property-based differential tests for the parallel sweep runner.
+
+Two invariants, over random small grids and a pure module-level
+``evaluate`` (pure so replay is sound, module-level so the process pool
+can pickle it by reference):
+
+* **parallel == serial** — :func:`repro.runner.run_sweep_parallel`
+  returns records *exactly* equal (same order, same values, ``==`` not
+  approx) to the serial reference :func:`repro.analysis.sweeps.sweep`;
+* **cached replay is free** — a second run against a warm cache returns
+  identical records with **zero** evaluations, proven by handing the
+  second run an evaluate that raises unconditionally.
+"""
+
+import shutil
+import tempfile
+from dataclasses import dataclass, replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sweeps import sweep
+from repro.runner import ResultCache, RunnerStats, run_sweep_parallel
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """Minimal ``with_``-style parameter object for runner tests."""
+
+    u: float = 1.0
+    v: float = 1.0
+    n: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError("n must be >= 0")  # exercises skip_invalid
+
+    def with_(self, **changes) -> "GridPoint":
+        return replace(self, **changes)
+
+
+def pure_evaluate(p: GridPoint) -> dict:
+    return {
+        "total": p.u * p.v + p.n,
+        "diff": p.u - p.v,
+        "label": f"u={p.u!r},n={p.n}",  # embeds a comma: stresses to_csv too
+    }
+
+
+def raising_evaluate(p: GridPoint) -> dict:
+    raise AssertionError("evaluate must not run on a fully cached sweep")
+
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=32)
+AXIS_VALUES = {
+    "u": finite,
+    "v": finite,
+    "n": st.integers(min_value=-2, max_value=5),  # negatives get skipped
+}
+
+
+@st.composite
+def axes_grids(draw):
+    keys = draw(st.lists(st.sampled_from(sorted(AXIS_VALUES)),
+                         unique=True, min_size=1, max_size=3))
+    return {k: draw(st.lists(AXIS_VALUES[k], min_size=1, max_size=3))
+            for k in keys}
+
+
+@settings(max_examples=25, deadline=None)
+@given(axes=axes_grids(), workers=st.sampled_from([0, 1, 2]))
+def test_parallel_records_exactly_equal_serial(axes, workers):
+    serial = sweep(GridPoint(), axes, pure_evaluate)
+    parallel = run_sweep_parallel(GridPoint(), axes, pure_evaluate,
+                                  workers=workers)
+    assert parallel.axes == serial.axes
+    assert parallel.records == serial.records
+
+
+@settings(max_examples=15, deadline=None)
+@given(axes=axes_grids())
+def test_cached_rerun_is_identical_with_zero_evaluations(axes):
+    tmp = tempfile.mkdtemp(prefix="runner-prop-")
+    try:
+        cache = ResultCache(tmp)
+        first = run_sweep_parallel(GridPoint(), axes, pure_evaluate,
+                                   workers=0, cache=cache, cache_id="prop")
+        stats = RunnerStats()
+        again = run_sweep_parallel(GridPoint(), axes, raising_evaluate,
+                                   workers=0, cache=cache, cache_id="prop",
+                                   stats=stats)
+        assert again.records == first.records
+        assert stats.evaluated == 0
+        assert stats.cache_hits == len(first.records)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+@settings(max_examples=10, deadline=None)
+@given(axes=axes_grids())
+def test_to_csv_round_trips_comma_values(axes):
+    result = sweep(GridPoint(), axes, pure_evaluate)
+    if not result.records:
+        return
+    tmp = tempfile.mkdtemp(prefix="runner-csv-")
+    try:
+        path = result.to_csv(f"{tmp}/out.csv")
+        lines = path.read_text().splitlines()
+        # header + one line per record: quoting keeps embedded commas
+        # from splitting rows into extra columns
+        assert len(lines) == 1 + len(result.records)
+        n_cols = len(lines[0].split(","))
+        for line in lines[1:]:
+            cells, in_quotes, current = [], False, []
+            for ch in line:
+                if ch == '"':
+                    in_quotes = not in_quotes
+                elif ch == "," and not in_quotes:
+                    cells.append("".join(current))
+                    current = []
+                else:
+                    current.append(ch)
+            cells.append("".join(current))
+            assert len(cells) == n_cols
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)

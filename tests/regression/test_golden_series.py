@@ -1,0 +1,115 @@
+"""Golden-series regression suite.
+
+Every registered experiment that emits series has its figure data
+checked into ``series_out/<id>.csv`` (the "golden" CSVs, regenerated
+with ``python -m repro experiments --csv series_out`` — see
+EXPERIMENTS.md, "Golden series").  This suite re-runs each experiment
+through the real ``save_series`` writer and compares the result to the
+golden file column by column, so execution-path refactors (the parallel
+runner, caching, integrator changes) cannot silently change the
+reproduced figures.
+
+Tolerances
+----------
+All experiments are deterministic, so the default tolerance is tight
+(``rtol=1e-7, atol=1e-12`` after the writer's ``.10g`` rounding — loose
+enough to absorb BLAS/libm variation across platforms, tight enough to
+catch any real change of dynamics).  Columns that accumulate many
+integration steps may be given a documented per-column override in
+``TOLERANCES``; none currently needs one.  NaN padding (ragged series)
+must match positionally.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.experiments  # noqa: F401 — registration side effects
+from repro.experiments.base import all_experiments, get_experiment
+
+ROOT = Path(__file__).resolve().parents[2]
+GOLDEN_DIR = ROOT / "series_out"
+GOLDEN_IDS = sorted(path.stem for path in GOLDEN_DIR.glob("*.csv"))
+
+DEFAULT_RTOL = 1e-7
+DEFAULT_ATOL = 1e-12
+
+#: Per-experiment, per-column (rtol, atol) overrides.  Add an entry only
+#: with a comment explaining which numerical effect it absorbs.
+TOLERANCES: dict[str, dict[str, tuple[float, float]]] = {}
+
+_results: dict[str, object] = {}
+
+
+def result_for(experiment_id: str):
+    """Run each experiment at most once for the whole suite."""
+    if experiment_id not in _results:
+        _results[experiment_id] = get_experiment(experiment_id)(
+            render_plots=False
+        )
+    return _results[experiment_id]
+
+
+def load_series_csv(path: Path) -> dict[str, np.ndarray]:
+    lines = path.read_text().strip().splitlines()
+    names = lines[0].split(",")
+    rows = [[float(cell) if cell else np.nan for cell in line.split(",")]
+            for line in lines[1:]]
+    data = np.array(rows, dtype=float)
+    return {name: data[:, i] for i, name in enumerate(names)}
+
+
+def test_golden_directory_is_populated():
+    assert GOLDEN_IDS, f"no golden CSVs found in {GOLDEN_DIR}"
+
+
+def test_every_series_experiment_has_a_golden():
+    """A new experiment with series must check in its golden CSV."""
+    with_series = sorted(
+        experiment_id
+        for experiment_id in all_experiments()
+        if result_for(experiment_id).series
+    )
+    missing = [eid for eid in with_series if eid not in GOLDEN_IDS]
+    assert not missing, (
+        f"experiments {missing} emit series but have no golden CSV; "
+        "regenerate with `python -m repro experiments --csv series_out` "
+        "and review the diff (see EXPERIMENTS.md)"
+    )
+
+
+@pytest.mark.parametrize("experiment_id", GOLDEN_IDS)
+def test_series_matches_golden(experiment_id, tmp_path):
+    result = result_for(experiment_id)
+    fresh_path = result.save_series(tmp_path)
+    assert fresh_path is not None, (
+        f"{experiment_id} has a golden CSV but produced no series"
+    )
+
+    fresh = load_series_csv(fresh_path)
+    golden = load_series_csv(GOLDEN_DIR / f"{experiment_id}.csv")
+
+    assert list(fresh) == list(golden), (
+        f"{experiment_id}: column set/order changed "
+        f"({list(fresh)} vs golden {list(golden)})"
+    )
+    overrides = TOLERANCES.get(experiment_id, {})
+    for column in golden:
+        g, f = golden[column], fresh[column]
+        assert f.shape == g.shape, (
+            f"{experiment_id}.{column}: length {f.shape} vs golden {g.shape}"
+        )
+        assert np.array_equal(np.isnan(g), np.isnan(f)), (
+            f"{experiment_id}.{column}: NaN padding moved"
+        )
+        rtol, atol = overrides.get(column, (DEFAULT_RTOL, DEFAULT_ATOL))
+        mask = ~np.isnan(g)
+        np.testing.assert_allclose(
+            f[mask], g[mask], rtol=rtol, atol=atol,
+            err_msg=(
+                f"{experiment_id}.{column} drifted from the golden series; "
+                "if the change is intended, re-bless via "
+                "`python -m repro experiments --csv series_out`"
+            ),
+        )

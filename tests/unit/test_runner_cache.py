@@ -1,0 +1,141 @@
+"""Unit tests for the content-addressed result cache (repro.runner.cache)."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import BCNParams
+from repro.runner import ResultCache, canonical_key
+
+
+def make_cache(tmp_path, version="1.0.0"):
+    return ResultCache(tmp_path / "cache", version=version)
+
+
+class TestKeying:
+    def test_key_stable_across_dict_ordering(self, tmp_path):
+        cache = make_cache(tmp_path)
+        assert cache.key("x", {"a": 1, "b": 2}) == cache.key("x", {"b": 2, "a": 1})
+
+    def test_key_stable_for_nested_dicts(self, tmp_path):
+        cache = make_cache(tmp_path)
+        k1 = cache.key("x", {"outer": {"p": 1.5, "q": "s"}, "n": 3})
+        k2 = cache.key("x", {"n": 3, "outer": {"q": "s", "p": 1.5}})
+        assert k1 == k2
+
+    def test_dataclass_params_canonicalised(self, tmp_path):
+        cache = make_cache(tmp_path)
+        p1 = BCNParams(capacity=1e9, n_flows=10, q0=1e6, buffer_size=8e6)
+        p2 = BCNParams(capacity=1e9, n_flows=10, q0=1e6, buffer_size=8e6)
+        assert cache.key("x", {"base": p1}) == cache.key("x", {"base": p2})
+
+    def test_key_changes_on_param_change(self, tmp_path):
+        cache = make_cache(tmp_path)
+        assert cache.key("x", {"a": 1}) != cache.key("x", {"a": 2})
+        assert cache.key("x", {"a": 1}) != cache.key("y", {"a": 1})
+
+    def test_key_changes_on_version_bump(self):
+        assert (canonical_key("x", {"a": 1}, "1.0.0")
+                != canonical_key("x", {"a": 1}, "2.0.0"))
+
+    def test_numpy_scalars_equal_python_scalars(self, tmp_path):
+        cache = make_cache(tmp_path)
+        assert (cache.key("x", {"a": np.float64(1.5)})
+                == cache.key("x", {"a": 1.5}))
+
+    def test_default_version_is_package_version(self, tmp_path):
+        import repro
+
+        cache = ResultCache(tmp_path / "c")
+        assert cache.version == repro.__version__
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        cache = make_cache(tmp_path)
+        value = {"peak": 1.25, "arr": np.arange(4.0)}
+        cache.put("v1", {"a": 1}, value)
+        got = cache.get("v1", {"a": 1})
+        assert got["peak"] == 1.25
+        assert np.array_equal(got["arr"], value["arr"])
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_miss_returns_default(self, tmp_path):
+        cache = make_cache(tmp_path)
+        sentinel = object()
+        assert cache.get("v1", {"a": 1}, sentinel) is sentinel
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.0
+
+    def test_version_bump_invalidates(self, tmp_path):
+        make_cache(tmp_path, version="1.0.0").put("v1", {"a": 1}, "old")
+        cache2 = make_cache(tmp_path, version="2.0.0")
+        assert cache2.get("v1", {"a": 1}) is None
+        assert cache2.stats.misses == 1
+
+    def test_param_change_misses(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put("v1", {"a": 1}, "one")
+        assert cache.get("v1", {"a": 2}) is None
+        assert cache.get("v1", {"a": 1}) == "one"
+
+
+class TestCorruptionTolerance:
+    def test_corrupt_entry_is_a_miss_and_dropped(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put("v1", {"a": 1}, "value")
+        path = cache.path("v1", {"a": 1})
+        path.write_bytes(b"\x00not a pickle")
+        assert cache.get("v1", {"a": 1}) is None  # no crash
+        assert cache.stats.corrupt == 1
+        assert not path.exists()  # dropped, so the recompute can store
+
+    def test_recompute_after_corruption(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put("v1", {"a": 1}, "value")
+        cache.path("v1", {"a": 1}).write_bytes(b"garbage")
+        assert cache.get("v1", {"a": 1}) is None
+        cache.put("v1", {"a": 1}, "recomputed")
+        assert cache.get("v1", {"a": 1}) == "recomputed"
+
+    def test_truncated_pickle_is_a_miss(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put("v1", {"a": 1}, {"big": list(range(100))})
+        path = cache.path("v1", {"a": 1})
+        path.write_bytes(path.read_bytes()[:10])
+        assert cache.get("v1", {"a": 1}) is None
+        assert cache.stats.corrupt == 1
+
+
+class TestMaintenance:
+    def fill(self, cache):
+        cache.put("v1", {"a": 1}, 1)
+        cache.put("v1", {"a": 2}, 2)
+        cache.put("fig6", {"a": 1}, 3)
+
+    def test_size(self, tmp_path):
+        cache = make_cache(tmp_path)
+        self.fill(cache)
+        assert cache.size() == 3
+        assert cache.size("v1") == 2
+        assert cache.size("unknown") == 0
+
+    def test_invalidate_one_experiment(self, tmp_path):
+        cache = make_cache(tmp_path)
+        self.fill(cache)
+        assert cache.invalidate("v1") == 2
+        assert cache.get("v1", {"a": 1}) is None
+        assert cache.get("fig6", {"a": 1}) == 3
+
+    def test_invalidate_all(self, tmp_path):
+        cache = make_cache(tmp_path)
+        self.fill(cache)
+        assert cache.invalidate() == 3
+        assert cache.size() == 0
+
+    def test_stats_summary_mentions_hits(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put("v1", {"a": 1}, 1)
+        cache.get("v1", {"a": 1})
+        cache.get("v1", {"a": 2})
+        assert "1/2 hits" in cache.stats.summary()

@@ -1,0 +1,106 @@
+"""Unit tests for the experiment-registry runner (repro.runner.executor)."""
+
+import pytest
+
+import repro.experiments  # noqa: F401 — registration side effects
+from repro.experiments.base import ExperimentResult
+from repro.runner import ResultCache, RunnerStats, run_experiments
+
+FAST_IDS = ["fig6", "fig4", "fig9"]  # closed-form experiments, ~ms each
+OPTIONS = {"render_plots": False}
+
+
+class TestOrdering:
+    def test_inline_preserves_requested_order(self):
+        pairs = run_experiments(FAST_IDS, workers=0, options=OPTIONS)
+        assert [eid for eid, _ in pairs] == FAST_IDS
+        assert all(isinstance(r, ExperimentResult) for _, r in pairs)
+        assert all(r.passed for _, r in pairs)
+
+    def test_pooled_preserves_requested_order(self):
+        pairs = run_experiments(FAST_IDS, workers=2, options=OPTIONS)
+        assert [eid for eid, _ in pairs] == FAST_IDS
+        assert all(r.passed for _, r in pairs)
+
+    def test_pooled_matches_inline_results(self):
+        inline = run_experiments(FAST_IDS, workers=0, options=OPTIONS)
+        pooled = run_experiments(FAST_IDS, workers=2, options=OPTIONS)
+        for (_, a), (_, b) in zip(inline, pooled):
+            assert a.experiment_id == b.experiment_id
+            assert a.verdicts == b.verdicts
+            assert a.table_rows == b.table_rows
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiments(["nope"], workers=0)
+
+
+class TestOptionFiltering:
+    def test_runner_options_only_reach_aware_experiments(self):
+        # fig4's run() accepts only render_plots; passing runner knobs
+        # through the executor must not crash it.
+        options = {**OPTIONS, "parallel": True, "workers": 0,
+                   "cache_dir": None}
+        pairs = run_experiments(["fig4", "v1"], workers=0, options=options)
+        assert all(r.passed for _, r in pairs)
+        v1 = dict(pairs)["v1"]
+        assert any("runner:" in note for note in v1.notes)
+
+    def test_pooled_dispatch_strips_execution_options(self):
+        options = {**OPTIONS, "parallel": True, "workers": 2,
+                   "cache_dir": None}
+        pairs = run_experiments(["fig4", "v1"], workers=2, options=options)
+        assert all(r.passed for _, r in pairs)
+
+
+class TestCaching:
+    def test_second_run_hits_and_skips(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_experiments(FAST_IDS, workers=0, cache=cache,
+                                options=OPTIONS)
+        stats = RunnerStats()
+        second = run_experiments(FAST_IDS, workers=0,
+                                 cache=ResultCache(tmp_path),
+                                 options=OPTIONS, stats=stats)
+        assert stats.evaluated == 0
+        assert stats.cache_hits == len(FAST_IDS)
+        for (_, a), (_, b) in zip(first, second):
+            assert a.verdicts == b.verdicts
+            assert a.table_rows == b.table_rows
+            assert any("cache hit" in note for note in b.notes)
+
+    def test_execution_knobs_do_not_split_the_cache(self, tmp_path):
+        # A serial run primes the cache for a parallel one: parallel /
+        # workers / cache_dir are execution strategy, not outcome.
+        run_experiments(["v1"], workers=0, cache=ResultCache(tmp_path),
+                        options=OPTIONS)
+        stats = RunnerStats()
+        run_experiments(
+            ["v1"], workers=0, cache=ResultCache(tmp_path),
+            options={**OPTIONS, "parallel": True, "workers": 2,
+                     "cache_dir": None},
+            stats=stats,
+        )
+        assert stats.cache_hits == 1
+
+    def test_render_plots_is_part_of_the_key(self, tmp_path):
+        run_experiments(["fig6"], workers=0, cache=ResultCache(tmp_path),
+                        options={"render_plots": False})
+        stats = RunnerStats()
+        run_experiments(["fig6"], workers=0, cache=ResultCache(tmp_path),
+                        options={"render_plots": True}, stats=stats)
+        assert stats.cache_hits == 0
+
+
+class TestInstrumentation:
+    def test_stats_one_unit_per_experiment(self):
+        stats = RunnerStats()
+        run_experiments(FAST_IDS, workers=0, options=OPTIONS, stats=stats)
+        assert len(stats.points) == len(FAST_IDS)
+        assert stats.evaluated == len(FAST_IDS)
+        assert stats.elapsed > 0
+
+    def test_computed_results_note_their_wall_time(self):
+        pairs = run_experiments(["fig6"], workers=0, options=OPTIONS)
+        notes = pairs[0][1].notes
+        assert any(note.startswith("runner: computed in") for note in notes)

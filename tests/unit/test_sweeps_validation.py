@@ -68,6 +68,33 @@ class TestSweep:
         assert lines[0] == "n_flows,v"
         assert len(lines) == 3
 
+    def test_to_csv_accepts_path_and_returns_it(self, tmp_path):
+        result = sweep(base_params(), {"n_flows": [5]}, lambda p: {"v": 1.0})
+        out = result.to_csv(tmp_path / "nested" / "out.csv")
+        assert out == tmp_path / "nested" / "out.csv"
+        assert out.exists()
+
+    def test_to_csv_quotes_values_with_commas(self, tmp_path):
+        result = sweep(base_params(), {"n_flows": [5]},
+                       lambda p: {"label": "case1, spiral", "v": 2.0})
+        path = result.to_csv(tmp_path / "out.csv", ["n_flows", "label", "v"])
+        lines = path.read_text().splitlines()
+        # the embedded comma must not add a column
+        assert lines[1] == '5,"case1, spiral",2'
+        import csv
+
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[1] == ["5", "case1, spiral", "2"]
+
+    def test_to_csv_escapes_quotes_and_formats_floats(self, tmp_path):
+        result = sweep(base_params(), {"n_flows": [5]},
+                       lambda p: {"q": 'say "hi"', "x": 1.0 / 3.0})
+        path = result.to_csv(tmp_path / "out.csv", ["q", "x"])
+        line = path.read_text().splitlines()[1]
+        # RFC-4180 doubled quotes; floats in write_csv's .10g format
+        assert line == '"say ""hi""",0.3333333333'
+
     def test_csv_requires_records(self, tmp_path):
         empty = SweepResult(axes={})
         with pytest.raises(ValueError):
