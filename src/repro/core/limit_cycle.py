@@ -40,6 +40,7 @@ import numpy as np
 from scipy.integrate import solve_ivp
 from scipy.optimize import brentq
 
+from ..fluid.integrate import solver_limits
 from ..fluid.model import as_normalized, decrease_field, increase_field, linearized_decrease_field
 from .eigen import Region, region_eigenstructure
 from .parameters import BCNParams, NormalizedParams
@@ -78,6 +79,7 @@ def _cross_region(
     *,
     t_max: float,
     rtol: float = 1e-10,
+    max_step: float | None = None,
 ) -> tuple[float, float, float, np.ndarray]:
     """Integrate one region pass until the switching line is re-crossed.
 
@@ -101,7 +103,8 @@ def _cross_region(
         x += eps * dx / scale
         y += eps * dy / scale
 
-    fastest = max(p.k * p.n_increase, p.k * p.n_decrease)
+    if max_step is None:
+        max_step = solver_limits(p)[1]
     sol = solve_ivp(
         field,
         (0.0, t_max),
@@ -109,7 +112,7 @@ def _cross_region(
         events=[crossing],
         rtol=rtol,
         atol=min(p.q0, p.capacity) * 1e-13,
-        max_step=0.05 / fastest,
+        max_step=max_step,
     )
     if sol.status != 1 or len(sol.t_events[0]) == 0:
         raise RuntimeError("region pass did not re-cross the switching line")
@@ -163,9 +166,13 @@ def return_map(
             raise ValueError("return map requires Case 1 (both regions spiral)")
         t_max = 20.0 * math.pi / slowest_beta
 
+    # One eigenvalue-bound computation per map application, not per pass.
+    max_step = solver_limits(p)[1]
     x0 = -p.k * y
-    t1, x1, y1, orbit_d = _cross_region(dec, p, x0, y, t_max=t_max)
-    t2, x2, y2, orbit_i = _cross_region(inc, p, x1, y1, t_max=t_max)
+    t1, x1, y1, orbit_d = _cross_region(dec, p, x0, y, t_max=t_max,
+                                        max_step=max_step)
+    t2, x2, y2, orbit_i = _cross_region(inc, p, x1, y1, t_max=t_max,
+                                        max_step=max_step)
     if with_orbit:
         orbit_i = orbit_i.copy()
         orbit_i[:, 0] += t1
@@ -222,6 +229,7 @@ def find_limit_cycle(
     y_hi: float | None = None,
     mode: str = "nonlinear",
     xtol_rel: float = 1e-10,
+    scan: str = "batch",
 ) -> LimitCycle | None:
     """Search the upper half-line for a fixed point of the return map.
 
@@ -229,6 +237,14 @@ def find_limit_cycle(
     change of ``P(y) - y`` and refines it with Brent's method.  Returns
     None when every scanned amplitude contracts (no cycle), which is the
     generic Case-1 outcome for paper-recommended parameters.
+
+    ``scan`` selects how the bracket scan is evaluated: ``"batch"``
+    (default) runs all 25 ordinates as one vectorized integration
+    (:func:`repro.fluid.batch.batch_return_map`) and re-checks any
+    bracket it finds with the ``solve_ivp`` reference before root
+    refinement; ``"reference"`` evaluates each ordinate sequentially.
+    Both paths hand the bracket to the same Brent refinement on the
+    reference map, so the located cycle is scan-independent.
     """
     p = as_normalized(params)
     if y_lo is None:
@@ -240,7 +256,18 @@ def find_limit_cycle(
         return return_map(p, y, mode=mode) - y
 
     ys = np.geomspace(y_lo, y_hi, 25)
-    values = [residual(float(y)) for y in ys]
+    if scan == "batch":
+        from ..fluid.batch import batch_return_map
+
+        try:
+            values = list(batch_return_map(p, ys, mode=mode) - ys)
+        except RuntimeError:
+            # a row failed to re-cross within the horizon — fall back
+            values = [residual(float(y)) for y in ys]
+    elif scan == "reference":
+        values = [residual(float(y)) for y in ys]
+    else:
+        raise ValueError(f"unknown scan method {scan!r}")
     bracket = None
     for (ya, va), (yb, vb) in zip(zip(ys, values), zip(ys[1:], values[1:])):
         if va == 0.0:
@@ -251,6 +278,17 @@ def find_limit_cycle(
             break
     if bracket is None:
         return None
+    if scan == "batch" and bracket[0] != bracket[1]:
+        # Verify the batch-located bracket against the reference map;
+        # a sign flip inside the batch tolerance band is not a cycle.
+        va, vb = residual(bracket[0]), residual(bracket[1])
+        if va == 0.0:
+            bracket = (bracket[0], bracket[0])
+        elif va * vb >= 0.0:
+            return find_limit_cycle(
+                p, y_lo=y_lo, y_hi=y_hi, mode=mode,
+                xtol_rel=xtol_rel, scan="reference",
+            )
     if bracket[0] == bracket[1]:
         y_star = bracket[0]
     else:
@@ -274,13 +312,29 @@ def amplitude_scan(
     ordinates: np.ndarray,
     *,
     mode: str = "nonlinear",
+    method: str = "batch",
 ) -> np.ndarray:
     """Evaluate ``P(y)/y`` over a grid of entry ordinates.
 
     Returns rows ``(y, ratio)``; ratios above 1 mark amplitude growth.
     Useful for mapping where cycles can live before running the root
     finder, and for the Fig. 7 benchmark's convergence diagnostics.
+
+    ``method="batch"`` (default) evaluates the whole grid as one
+    vectorized integration; ``"reference"`` maps the ``solve_ivp``
+    return map over the ordinates sequentially.
     """
     p = as_normalized(params)
-    rows = [(float(y), contraction_ratio(p, float(y), mode=mode)) for y in ordinates]
-    return np.array(rows)
+    ordinates = np.asarray(ordinates, dtype=float)
+    if method == "batch":
+        from ..fluid.batch import batch_return_map
+
+        ratios = batch_return_map(p, ordinates, mode=mode) / ordinates
+        return np.column_stack([ordinates, ratios])
+    if method == "reference":
+        rows = [
+            (float(y), contraction_ratio(p, float(y), mode=mode))
+            for y in ordinates
+        ]
+        return np.array(rows)
+    raise ValueError(f"unknown scan method {method!r}")

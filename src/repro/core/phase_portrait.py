@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..fluid.model import as_normalized, decrease_field, increase_field
+from ..fluid.batch import default_horizon, simulate_fluid_batch, switched_derivatives
+from ..fluid.model import as_normalized
 from .parameters import BCNParams, NormalizedParams
 from .phase_plane import PhasePlaneAnalyzer
 
@@ -50,24 +51,18 @@ def vector_field_grid(
 
     Directions are unit-normalised (the magnitudes are returned
     separately) so a quiver plot shows geometry rather than the huge
-    dynamic range of speeds near/far from the switching line.
+    dynamic range of speeds near/far from the switching line.  The
+    whole ``ny x nx`` grid is evaluated in one batched call
+    (:func:`repro.fluid.batch.switched_derivatives`).
     """
     p = as_normalized(params)
-    inc = increase_field(p)
-    dec = decrease_field(p)
     xs = np.linspace(x_range[0], x_range[1], nx)
     ys = np.linspace(y_range[0], y_range[1], ny)
     gx, gy = np.meshgrid(xs, ys)
-    u = np.empty_like(gx)
-    v = np.empty_like(gy)
-    for i in range(ny):
-        for j in range(nx):
-            state = np.array([gx[i, j], gy[i, j]])
-            if state[0] + p.k * state[1] < 0:
-                du, dv = inc(0.0, state)
-            else:
-                du, dv = dec(0.0, state)
-            u[i, j], v[i, j] = du, dv
+    derivs = switched_derivatives(
+        p, np.stack([gx, gy], axis=-1), on_line="decrease"
+    )
+    u, v = derivs[..., 0], derivs[..., 1]
     magnitude = np.hypot(u, v)
     safe = np.where(magnitude > 0, magnitude, 1.0)
     return VectorFieldGrid(x=gx, y=gy, u=u / safe, v=v / safe,
@@ -125,11 +120,21 @@ def phase_portrait(
     max_switches: int = 30,
     points_per_segment: int = 120,
     with_grid: bool = False,
+    method: str = "compose",
+    fluid_mode: str = "nonlinear",
+    t_max: float | None = None,
 ) -> PhasePortrait:
     """Compose a family of orbits from a spread of initial states.
 
     ``starts`` defaults to eight points around the buffer strip: the
     canonical ``(-q0, 0)``, points on both axes and both regions.
+
+    ``method`` selects the orbit engine: ``"compose"`` uses the
+    closed-form piecewise composition (exact eigensolutions, the
+    default), ``"batch"`` integrates the whole bundle in one
+    :func:`repro.fluid.batch.simulate_fluid_batch` call — the fast path
+    for large ensembles, which also unlocks ``fluid_mode`` (the
+    nonlinear or physical laws the closed forms cannot express).
     """
     p = as_normalized(params)
     if starts is None:
@@ -143,12 +148,31 @@ def phase_portrait(
             (0.8 * q0, 0.02 * c),
             (-0.8 * q0, -0.02 * c),
         ]
-    analyzer = PhasePlaneAnalyzer(p)
     portrait = PhasePortrait(params=p)
-    for x0, y0 in starts:
-        traj = analyzer.compose(x0, y0, max_switches=max_switches)
-        samples = traj.sample(points_per_segment)
-        portrait.orbits.append(samples[:, 1:3])
+    if method == "batch":
+        if t_max is None:
+            t_max = default_horizon(p, max_switches=max_switches)
+        result = simulate_fluid_batch(
+            p,
+            np.array([s[0] for s in starts]),
+            np.array([s[1] for s in starts]),
+            t_max=t_max,
+            mode=fluid_mode,
+            max_switches=max_switches,
+        )
+        for row in range(result.n_rows):
+            mask = result.t <= result.t_end[row]
+            portrait.orbits.append(
+                np.column_stack([result.x[mask, row], result.y[mask, row]])
+            )
+    elif method == "compose":
+        analyzer = PhasePlaneAnalyzer(p)
+        for x0, y0 in starts:
+            traj = analyzer.compose(x0, y0, max_switches=max_switches)
+            samples = traj.sample(points_per_segment)
+            portrait.orbits.append(samples[:, 1:3])
+    else:
+        raise ValueError(f"unknown portrait method {method!r}")
     if with_grid:
         x_lo, x_hi, y_lo, y_hi = portrait.bounding_box()
         portrait.grid = vector_field_grid(

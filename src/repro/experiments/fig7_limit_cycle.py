@@ -45,7 +45,7 @@ import numpy as np
 
 from ..core.limit_cycle import amplitude_scan, find_limit_cycle, linearized_contraction
 from ..core.parameters import paper_example_params
-from ..fluid.integrate import simulate_fluid
+from ..fluid.batch import simulate_fluid_batch
 from ..simulation.network import BCNNetworkSimulator
 from ..viz.ascii import line_plot, phase_plot
 from .base import ExperimentResult, register
@@ -100,13 +100,29 @@ def run(*, render_plots: bool = True, with_des: bool = True) -> ExperimentResult
     # -y' with y' < y*) — quantified below as a further sharpening.
     p0 = scale_free(p.a, p.b, k=1e-6, capacity=p.capacity, q0=p.q0,
                     buffer_size=1e6 * p.q0)
-    orbit = simulate_fluid(p0, x0=-0.8 * p0.q0, y0=0.0, t_max=40.0,
-                           mode="linearized", max_switches=200)
+    # The whole closed-orbit family (three amplitudes) is one vectorized
+    # ensemble integration; row 0 is the canonical Fig. 7 orbit.
+    family_starts = np.array([-0.8, -0.5, -0.25]) * p0.q0
+    family = simulate_fluid_batch(p0, family_starts, 0.0, t_max=40.0,
+                                  mode="linearized", max_switches=200)
+    orbit = family.trajectory(0)
     peaks = np.array([x for _, x in orbit.extrema if x > 0])
     troughs = np.array([x for _, x in orbit.extrema if x < 0])
     result.series["cycle_t"] = orbit.t
     result.series["cycle_x"] = orbit.x
     result.series["cycle_y"] = orbit.y
+    amplitudes = []
+    for row in range(family.n_rows):
+        row_peaks = np.array([x for _, x in family.extrema(row) if x > 0.0])
+        amplitudes.append(float(row_peaks.mean()) if row_peaks.size else np.nan)
+    result.series["family_start"] = np.abs(family_starts)
+    result.series["family_amplitude"] = np.array(amplitudes)
+    # Fig. 7's amplitude is set by the initial condition, not the
+    # dynamics: each family member oscillates at its own level forever.
+    result.verdicts["amplitude_set_by_initial_condition"] = bool(
+        np.all(np.isfinite(amplitudes))
+        and amplitudes[2] < amplitudes[1] < amplitudes[0]
+    )
     result.table_rows.append(["closed-orbit rounds observed", len(peaks)])
     if len(peaks) >= 4:
         drift = float(np.ptp(peaks)) / float(np.mean(peaks))
@@ -123,9 +139,10 @@ def run(*, render_plots: bool = True, with_des: bool = True) -> ExperimentResult
 
     # Sharpening: the nonlinear (y + C) decrease factor dissipates even
     # at k = 0 — the same start in the full model spirals slowly inward.
-    nonlinear_orbit = simulate_fluid(p0, x0=-0.8 * p0.q0, y0=0.0,
-                                     t_max=40.0, mode="nonlinear",
-                                     max_switches=200)
+    nonlinear_orbit = simulate_fluid_batch(
+        p0, np.array([-0.8 * p0.q0]), 0.0, t_max=40.0, mode="nonlinear",
+        max_switches=200,
+    ).trajectory(0)
     nl_peaks = np.array([x for _, x in nonlinear_orbit.extrema if x > 0])
     if len(nl_peaks) >= 3:
         per_round = float(nl_peaks[1] / nl_peaks[0])
@@ -162,5 +179,11 @@ def run(*, render_plots: bool = True, with_des: bool = True) -> ExperimentResult
         "Sharpened account: for k > 0 the smooth fluid model always spirals "
         "in (no interior cycle); the Fig.7 cycle is the k -> 0 (w -> 0) "
         "marginal case, where sigma loses its derivative damping term."
+    )
+    result.notes.append(
+        "Orbit family and return-map scans run on the vectorized batch "
+        f"kernel (repro.fluid.batch; {family.kernel_seconds:.3f} s for "
+        f"{family.n_rows} orbits), differentially tested against the "
+        "solve_ivp reference."
     )
     return result

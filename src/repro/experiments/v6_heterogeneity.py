@@ -25,7 +25,7 @@ import random
 import numpy as np
 
 from ..analysis.validation import compare_series
-from ..fluid.integrate import simulate_fluid
+from ..fluid.batch import simulate_fluid_batch
 from ..simulation.network import BCNNetworkSimulator
 from .base import ExperimentResult, register
 from .v2_fluid_vs_packet import validation_params
@@ -79,12 +79,24 @@ def run(*, render_plots: bool = True, duration: float = 0.3) -> ExperimentResult
                        "class"],
     )
     params = validation_params()
-    fluid = simulate_fluid(
+    # Fluid reference ensemble in one batched physical-mode integration:
+    # row 0 is the nominal prediction the DES runs are compared against,
+    # rows 1-2 bracket it with ±10% initial aggregate-rate offsets so
+    # the comparison tolerance is visibly wider than the model's own
+    # sensitivity to the starting point.
+    y0_nominal = 0.5 * params.capacity
+    ensemble = simulate_fluid_batch(
         params.normalized(),
-        y0=0.5 * params.capacity,
+        -params.q0,
+        np.array([1.0, 0.9, 1.1]) * y0_nominal,
         t_max=duration,
         mode="physical",
         max_switches=4000,
+    )
+    fluid = ensemble.trajectory(0)
+    fluid_peaks = [x for _, x in fluid.extrema if x > 0.0]
+    result.verdicts["fluid_reference_peaks_decay"] = bool(
+        len(fluid_peaks) < 2 or fluid_peaks[-1] < fluid_peaks[0]
     )
 
     reports = {}
@@ -124,5 +136,9 @@ def run(*, render_plots: bool = True, duration: float = 0.3) -> ExperimentResult
         "Mild heterogeneity in rates, gains or delays leaves the aggregate "
         "queue dynamics on the homogeneous fluid prediction — the paper's "
         "symmetry assumption is a mean-field statement, not a knife edge."
+    )
+    result.notes.append(
+        "Fluid reference ensemble (nominal ±10% initial rate) integrated "
+        f"by the batch kernel in {ensemble.kernel_seconds:.3f} s."
     )
     return result

@@ -1,12 +1,22 @@
 """Fluid-flow ODE substrate for the BCN model.
 
-Vector fields (:mod:`.model`) and the event-accurate piecewise
-integrator (:mod:`.integrate`) for the switched BCN fluid model in
-linearised, full-nonlinear and physically-constrained modes.
+Vector fields (:mod:`.model`), the event-accurate piecewise
+integrator (:mod:`.integrate`) and the vectorized ensemble kernel
+(:mod:`.batch`) for the switched BCN fluid model in linearised,
+full-nonlinear and physically-constrained modes.
 """
 
+from .batch import (
+    BatchFluidResult,
+    batch_return_map,
+    batched_derivative_fn,
+    default_horizon,
+    default_time_step,
+    simulate_fluid_batch,
+    switched_derivatives,
+)
 from .delay import DelayedTrajectory, critical_delay, simulate_delayed
-from .integrate import FluidEvent, FluidTrajectory, simulate_fluid
+from .integrate import FluidEvent, FluidTrajectory, simulate_fluid, solver_limits
 from .model import (
     decrease_field,
     full_field,
@@ -19,8 +29,16 @@ from .model import (
 
 __all__ = [
     "simulate_fluid",
+    "solver_limits",
     "FluidTrajectory",
     "FluidEvent",
+    "simulate_fluid_batch",
+    "BatchFluidResult",
+    "batch_return_map",
+    "batched_derivative_fn",
+    "switched_derivatives",
+    "default_time_step",
+    "default_horizon",
     "increase_field",
     "decrease_field",
     "linearized_increase_field",

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Literal
 
 import numpy as np
@@ -41,11 +42,28 @@ from .model import (
     pinned_full_field,
 )
 
-__all__ = ["FluidEvent", "FluidTrajectory", "simulate_fluid"]
+__all__ = ["FluidEvent", "FluidTrajectory", "simulate_fluid", "solver_limits"]
 
 Mode = Literal["linearized", "nonlinear", "physical"]
 
 _CONVERGENCE_RTOL = 1e-5
+
+
+@lru_cache(maxsize=512)
+def solver_limits(params: NormalizedParams) -> tuple[float, float]:
+    """Default ``solve_ivp`` limits ``(atol, max_step)`` for ``params``.
+
+    ``atol`` scales with the natural state magnitudes ``(q0, C)``;
+    ``max_step`` is a twentieth of the fastest natural timescale
+    (``|lambda| <= k n`` for either region) so switching events cannot
+    be stepped over.  Cached per parameter set: sweeps, return-map scans
+    and per-segment restarts all reuse one computation instead of
+    re-deriving the eigenvalue bound at every ``solve_ivp`` call.
+    """
+    atol = min(params.q0, params.capacity) * 1e-12
+    fastest = max(params.k * params.n_increase, params.k * params.n_decrease)
+    max_step = 0.05 / fastest if fastest > 0.0 else math.inf
+    return atol, max_step
 
 
 @dataclass(frozen=True)
@@ -196,12 +214,11 @@ def simulate_fluid(
     p = as_normalized(params)
     if x0 is None:
         x0 = -p.q0
+    default_atol, default_max_step = solver_limits(p)
     if atol is None:
-        atol = min(p.q0, p.capacity) * 1e-12
+        atol = default_atol
     if max_step is None:
-        # Fastest dynamics: |lambda| <= k*n for either region.
-        fastest = max(p.k * p.n_increase, p.k * p.n_decrease)
-        max_step = 0.05 / fastest if fastest > 0 else np.inf
+        max_step = default_max_step
 
     inc = increase_field(p)
     dec = linearized_decrease_field(p) if mode == "linearized" else decrease_field(p)

@@ -21,11 +21,19 @@ __all__ = ["PointTiming", "RunnerStats"]
 
 @dataclass(frozen=True)
 class PointTiming:
-    """Wall-clock record of one executed (or cache-served) work unit."""
+    """Wall-clock record of one executed (or cache-served) work unit.
+
+    ``kernel`` is the portion of ``wall`` the work unit reported as time
+    spent inside its numerical kernel (e.g.
+    ``BatchFluidResult.kernel_seconds``, forwarded by the runner's
+    reserved ``"_kernel_wall"`` record key); the remainder is
+    serialisation, dispatch and bookkeeping overhead.
+    """
 
     label: str
     wall: float
     cached: bool = False
+    kernel: float = 0.0
 
 
 @dataclass
@@ -39,8 +47,11 @@ class RunnerStats:
 
     # -- recording ----------------------------------------------------------
 
-    def record(self, label: str, wall: float, *, cached: bool = False) -> None:
-        self.points.append(PointTiming(label=label, wall=wall, cached=cached))
+    def record(self, label: str, wall: float, *, cached: bool = False,
+               kernel: float = 0.0) -> None:
+        self.points.append(
+            PointTiming(label=label, wall=wall, cached=cached, kernel=kernel)
+        )
 
     # -- derived quantities -------------------------------------------------
 
@@ -73,6 +84,25 @@ class RunnerStats:
         return max(walls) if walls else 0.0
 
     @property
+    def kernel_wall(self) -> float:
+        """Total self-reported kernel time (sum over non-cached points)."""
+        return sum(p.kernel for p in self.points if not p.cached)
+
+    @property
+    def overhead_wall(self) -> float:
+        """``compute_wall - kernel_wall``: dispatch/serialisation cost.
+
+        Only meaningful when the evaluated points report kernel time;
+        otherwise it degenerates to ``compute_wall``.
+        """
+        return self.compute_wall - self.kernel_wall
+
+    @property
+    def kernel_fraction(self) -> float:
+        """Fraction of compute wall spent in reported kernels."""
+        return self.kernel_wall / self.compute_wall if self.compute_wall else 0.0
+
+    @property
     def utilization(self) -> float:
         """``compute_wall / (workers * elapsed)`` — pool busy fraction.
 
@@ -97,6 +127,12 @@ class RunnerStats:
             ["max point wall (s)", self.max_point_wall],
             ["worker utilization", self.utilization],
         ]
+        if self.kernel_wall > 0.0:
+            rows += [
+                ["kernel wall (s)", self.kernel_wall],
+                ["pool overhead (s)", self.overhead_wall],
+                ["kernel fraction", self.kernel_fraction],
+            ]
         if self.cache is not None:
             rows.append(["cache (process-wide)", self.cache.summary()])
         return rows
@@ -117,5 +153,11 @@ class RunnerStats:
                 f"runner cache: {self.cache_hits} hit(s), "
                 f"{self.evaluated} evaluated "
                 f"(hit rate {self.cache_hit_rate:.0%})"
+            )
+        if self.kernel_wall > 0.0:
+            lines.append(
+                f"runner kernels: {self.kernel_wall:.3f}s in kernels vs "
+                f"{self.overhead_wall:.3f}s pool/dispatch overhead "
+                f"(kernel fraction {self.kernel_fraction:.0%})"
             )
         return lines

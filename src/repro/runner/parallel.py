@@ -55,14 +55,23 @@ def _chunked(items: Sequence, chunk_size: int) -> list[list]:
 def _evaluate_chunk(
     evaluate: Callable[[Any], Mapping[str, Any]],
     chunk: list[tuple[int, dict[str, Any], Any]],
-) -> list[tuple[int, dict[str, Any], float]]:
-    """Worker entry point: evaluate one chunk of (index, overrides, params)."""
-    out: list[tuple[int, dict[str, Any], float]] = []
+) -> list[tuple[int, dict[str, Any], float, float]]:
+    """Worker entry point: evaluate one chunk of (index, overrides, params).
+
+    The reserved record key ``"_kernel_wall"`` lets an ``evaluate``
+    report how much of its wall time was spent inside a numerical
+    kernel (e.g. ``BatchFluidResult.kernel_seconds``): the key is popped
+    here — it never reaches the sweep records or the cache — and
+    surfaces as ``PointTiming.kernel``, so sweep summaries can separate
+    per-point kernel time from pool dispatch overhead.
+    """
+    out: list[tuple[int, dict[str, Any], float, float]] = []
     for index, overrides, params in chunk:
         t0 = time.perf_counter()
         record: dict[str, Any] = dict(overrides)
         record.update(evaluate(params))
-        out.append((index, record, time.perf_counter() - t0))
+        kernel = float(record.pop("_kernel_wall", 0.0))
+        out.append((index, record, time.perf_counter() - t0, kernel))
     return out
 
 
@@ -140,9 +149,9 @@ def run_sweep_parallel(
                 for future in as_completed(futures):
                     computed.extend(future.result())
         overrides_by_index = {index: overrides for index, overrides, _ in pending}
-        for index, record, wall in computed:
+        for index, record, wall, kernel in computed:
             records_by_index[index] = record
-            stats.record(f"point[{index}]", wall)
+            stats.record(f"point[{index}]", wall, kernel=kernel)
             if cache is not None:
                 cache.put(
                     entry_id,

@@ -1,0 +1,218 @@
+"""Unit tests for the batch fluid kernel and its limit-cycle fast path.
+
+The heavy differential coverage (batch vs ``solve_ivp`` on random
+parameters) lives in ``tests/property/test_prop_batch_fluid.py``; this
+module pins the deterministic contracts: step/horizon heuristics, edge
+cases of the ensemble state machine, input validation, and — the point
+of the fast path — that :func:`repro.core.limit_cycle.find_limit_cycle`
+locates the *same* cycle through the batched bracket scan as through
+the sequential reference scan.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro.core.limit_cycle as lc
+import repro.fluid.batch as batch_mod
+from repro.core.limit_cycle import amplitude_scan, find_limit_cycle
+from repro.core.parameters import NormalizedParams
+from repro.fluid.batch import (
+    batch_return_map,
+    default_horizon,
+    default_time_step,
+    simulate_fluid_batch,
+    switched_derivatives,
+)
+from repro.experiments.presets import CASE1_SLOW
+
+
+def norm(**overrides) -> NormalizedParams:
+    base = dict(a=2.0, b=0.02, k=0.1, capacity=100.0, q0=10.0,
+                buffer_size=200.0)
+    base.update(overrides)
+    return NormalizedParams(**base)
+
+
+class TestHeuristics:
+    def test_default_time_step_resolves_fastest_spiral(self):
+        p = norm()
+        dt = default_time_step(p)
+        omega = math.sqrt(max(p.n_increase, p.n_decrease))
+        # ~300 steps per period of the fastest focus
+        assert 2.0 * math.pi / (omega * dt) > 250.0
+
+    def test_default_time_step_scale_knob(self):
+        p = norm()
+        assert default_time_step(p, dt_scale=0.04) == pytest.approx(
+            2.0 * default_time_step(p, dt_scale=0.02)
+        )
+
+    def test_default_horizon_reaches_convergence_ball(self):
+        p = norm()
+        t_max = default_horizon(p)
+        res = simulate_fluid_batch(p, np.array([-0.8 * p.q0]), 0.0,
+                                   t_max=t_max, max_switches=500)
+        assert bool(res.converged[0])
+
+    def test_default_horizon_capped_by_max_switches(self):
+        p = norm()
+        assert default_horizon(p, max_switches=4) < default_horizon(p)
+
+
+class TestEnsembleEdgeCases:
+    def test_start_inside_convergence_ball_freezes_at_t0(self):
+        p = norm()
+        res = simulate_fluid_batch(p, np.array([0.0]), np.array([0.0]),
+                                   t_max=5.0)
+        assert bool(res.converged[0])
+        assert res.end_reason[0] == "converged"
+        assert res.t_end[0] == 0.0
+        assert int(res.switch_counts[0]) == 0
+
+    def test_physical_pinned_start_registers_empty_buffer(self):
+        p = norm()
+        res = simulate_fluid_batch(
+            p, np.array([-p.q0]), np.array([-0.2 * p.capacity]),
+            t_max=5.0, mode="physical",
+        )
+        assert bool(res.hit_buffer_empty()[0])
+        # the pinned row rejoins the interior flow and keeps integrating
+        assert res.t_end[0] > 0.0
+
+    def test_scalar_starts_broadcast_to_ensemble(self):
+        p = norm()
+        res = simulate_fluid_batch(p, -p.q0, np.array([0.0, 1.0, 2.0]),
+                                   t_max=1.0)
+        assert res.n_rows == 3
+        np.testing.assert_allclose(res.x[0], -p.q0)
+
+    def test_step_budget_guard(self):
+        with pytest.raises(ValueError, match="steps"):
+            simulate_fluid_batch(norm(), np.array([-1.0]), t_max=1e9)
+
+
+class TestSwitchedDerivatives:
+    def test_field_matches_region_laws_off_the_line(self):
+        p = norm()
+        states = np.array([[5.0, 2.0],    # s > 0: decrease law
+                           [-5.0, 2.0]])  # s < 0: increase law
+        for rule in ("decrease", "flow"):
+            d = switched_derivatives(p, states, on_line=rule)
+            s = states[:, 0] + p.k * states[:, 1]
+            np.testing.assert_allclose(d[:, 0], states[:, 1])
+            assert d[0, 1] == pytest.approx(
+                -p.b * (states[0, 1] + p.capacity) * s[0])
+            assert d[1, 1] == pytest.approx(-p.a * s[1])
+
+    def test_on_line_acceleration_vanishes_under_both_conventions(self):
+        # exactly on s = 0 the acceleration is -coef * s = 0 whichever
+        # region the convention assigns, so the two rules agree there
+        p = norm()
+        state = np.array([-p.k * -5.0, -5.0])
+        for rule in ("decrease", "flow"):
+            d = switched_derivatives(p, state, on_line=rule)
+            assert d[0] == -5.0
+            assert d[1] == 0.0
+
+    def test_unknown_on_line_rule_raises(self):
+        with pytest.raises(ValueError, match="on_line"):
+            switched_derivatives(norm(), np.zeros(2), on_line="bogus")
+
+
+class TestBatchReturnMapValidation:
+    def test_rejects_nonpositive_ordinates(self):
+        with pytest.raises(ValueError, match="y > 0"):
+            batch_return_map(norm(), np.array([10.0, -1.0]))
+
+    def test_rejects_ordinates_at_capacity(self):
+        p = norm()
+        with pytest.raises(ValueError, match="y < C"):
+            batch_return_map(p, np.array([p.capacity]))
+
+    def test_requires_case1(self):
+        p = norm(a=0.5, b=0.005, k=3.0)  # node-type regions
+        with pytest.raises(ValueError, match="Case 1"):
+            batch_return_map(p, np.array([10.0]))
+
+
+class TestFindLimitCycleScanParity:
+    def test_both_scans_agree_no_cycle_exists(self):
+        # Proposition 1: the nonlinear Case-1 map contracts everywhere,
+        # so the generic outcome — through either scan — is None.
+        assert find_limit_cycle(CASE1_SLOW, scan="batch") is None
+        assert find_limit_cycle(CASE1_SLOW, scan="reference") is None
+
+    def test_unknown_scan_method_raises(self):
+        with pytest.raises(ValueError, match="scan"):
+            find_limit_cycle(CASE1_SLOW, scan="bogus")
+
+    def test_amplitude_scan_methods_agree(self):
+        p = CASE1_SLOW
+        ys = np.geomspace(0.01, 0.8, 9) * p.capacity
+        fast = amplitude_scan(p, ys, method="batch")
+        slow = amplitude_scan(p, ys, method="reference")
+        np.testing.assert_allclose(fast[:, 1], slow[:, 1], rtol=0, atol=1e-3)
+
+    @staticmethod
+    def _patch_synthetic_cycle(monkeypatch, batch_values=None,
+                               batch_error=None):
+        """Install P(y) = 0.5 y + 0.2 C in both scan backends.
+
+        The real dynamics have no interior cycle (Proposition 1), so the
+        found-cycle path is exercised against a synthetic contraction
+        map with the isolated fixed point ``y* = 0.4 C``.
+        """
+        c = CASE1_SLOW.capacity
+
+        def fake_map(params, y, *, mode="nonlinear", t_max=None,
+                     with_orbit=False):
+            out = 0.5 * y + 0.2 * c
+            if with_orbit:
+                orbit = np.array([[0.0, -y, y], [1.0, y, -y]])
+                return out, 1.0, orbit
+            return out
+
+        def fake_batch(params, ys, *, mode="nonlinear", **kwargs):
+            ys = np.asarray(ys, dtype=float)
+            if batch_error is not None:
+                raise batch_error
+            if batch_values is not None:
+                return batch_values(ys)
+            return 0.5 * ys + 0.2 * c
+
+        monkeypatch.setattr(lc, "return_map", fake_map)
+        monkeypatch.setattr(batch_mod, "batch_return_map", fake_batch)
+        return 0.4 * c
+
+    def test_batched_scan_finds_same_cycle_amplitude(self, monkeypatch):
+        y_star = self._patch_synthetic_cycle(monkeypatch)
+        via_batch = find_limit_cycle(CASE1_SLOW, scan="batch")
+        via_ref = find_limit_cycle(CASE1_SLOW, scan="reference")
+        assert via_batch is not None and via_ref is not None
+        tol = 1e-3 * CASE1_SLOW.capacity
+        assert abs(via_batch.entry_ordinate - y_star) < tol
+        assert abs(via_batch.entry_ordinate - via_ref.entry_ordinate) < tol
+        assert abs(via_batch.queue_amplitude - via_ref.queue_amplitude) < tol
+        assert via_batch.stable and via_batch.derivative == pytest.approx(0.5)
+
+    def test_batch_scan_falls_back_on_runtime_error(self, monkeypatch):
+        y_star = self._patch_synthetic_cycle(
+            monkeypatch, batch_error=RuntimeError("no re-cross"))
+        cycle = find_limit_cycle(CASE1_SLOW, scan="batch")
+        assert cycle is not None
+        assert cycle.entry_ordinate == pytest.approx(y_star, abs=1e-6)
+
+    def test_spurious_batch_bracket_defers_to_reference(self, monkeypatch):
+        # Batch values shifted so the sign change lands where the
+        # reference residual has none: the re-check must reject the
+        # bracket and re-scan sequentially, still finding y*.
+        c = CASE1_SLOW.capacity
+        y_star = self._patch_synthetic_cycle(
+            monkeypatch,
+            batch_values=lambda ys: 0.5 * ys + 0.05 * c,  # fixed pt 0.1 C
+        )
+        cycle = find_limit_cycle(CASE1_SLOW, scan="batch")
+        assert cycle is not None
+        assert cycle.entry_ordinate == pytest.approx(y_star, abs=1e-6)

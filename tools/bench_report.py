@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Condense pytest-benchmark JSON into the committed ``BENCH_fluid.json``.
+
+Usage::
+
+    python -m pytest benchmarks/test_batch_fluid.py \
+        --benchmark-json bench_raw.json
+    python tools/bench_report.py bench_raw.json -o BENCH_fluid.json \
+        [--min-speedup 1.0]
+
+The raw pytest-benchmark dump is noisy and machine-heavy; the report
+keeps what the perf trajectory needs:
+
+* per-kernel mean/stddev wall time and, for workloads that tag
+  ``extra_info["trajectory_seconds"]``, the throughput figure
+  **ns per integrated trajectory-second**;
+* per-workload speedups, pairing ``engine="batch"`` against
+  ``engine="reference"`` rows that share ``extra_info["workload"]``.
+
+Exits non-zero when any workload's batch engine is slower than
+``--min-speedup`` × the reference, which is how the CI ``bench`` job
+fails on a regression while absorbing shared-runner noise (the
+committed report itself is regenerated on quiet hardware).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["build_report", "main"]
+
+
+def _kernel_entry(bench: dict) -> dict:
+    stats = bench["stats"]
+    extra = dict(bench.get("extra_info", {}))
+    entry = {
+        "mean_s": stats["mean"],
+        "stddev_s": stats["stddev"],
+        "rounds": stats["rounds"],
+        "extra_info": extra,
+    }
+    traj_seconds = extra.get("trajectory_seconds")
+    if traj_seconds:
+        entry["ns_per_trajectory_second"] = stats["mean"] / traj_seconds * 1e9
+    return entry
+
+
+def build_report(raw: dict) -> dict:
+    """Build the condensed report dict from a pytest-benchmark dump."""
+    kernels = {}
+    by_workload: dict[str, dict[str, dict]] = {}
+    for bench in raw.get("benchmarks", []):
+        name = bench["name"]
+        entry = _kernel_entry(bench)
+        kernels[name] = entry
+        extra = entry["extra_info"]
+        workload, engine = extra.get("workload"), extra.get("engine")
+        if workload and engine:
+            by_workload.setdefault(workload, {})[engine] = entry
+
+    speedups = {}
+    for workload, engines in sorted(by_workload.items()):
+        if "batch" in engines and "reference" in engines:
+            batch_s = engines["batch"]["mean_s"]
+            reference_s = engines["reference"]["mean_s"]
+            speedups[workload] = {
+                "batch_s": batch_s,
+                "reference_s": reference_s,
+                "speedup": reference_s / batch_s,
+            }
+
+    machine = raw.get("machine_info", {})
+    return {
+        "generated_by": "tools/bench_report.py",
+        "source_datetime": raw.get("datetime"),
+        "machine": {
+            key: machine.get(key)
+            for key in ("node", "processor", "machine", "python_version",
+                        "cpu")
+            if key in machine
+        },
+        "kernels": kernels,
+        "speedups": speedups,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("raw", type=Path,
+                        help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("-o", "--output", type=Path,
+                        default=Path("BENCH_fluid.json"))
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="fail when any workload's batch/reference "
+                             "speedup drops below this (default: 1.0)")
+    args = parser.parse_args(argv)
+
+    report = build_report(json.loads(args.raw.read_text()))
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    failed = False
+    for workload, row in report["speedups"].items():
+        verdict = "ok"
+        if row["speedup"] < args.min_speedup:
+            verdict = f"REGRESSION (< {args.min_speedup:g}x)"
+            failed = True
+        print(f"{workload}: batch {row['batch_s']:.4f}s vs reference "
+              f"{row['reference_s']:.4f}s -> {row['speedup']:.2f}x {verdict}")
+    if not report["speedups"]:
+        print("warning: no batch/reference workload pairs found",
+              file=sys.stderr)
+    print(f"wrote {args.output}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
