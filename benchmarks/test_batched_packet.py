@@ -1,0 +1,126 @@
+"""Bench P — the batched packet engine vs the event-driven reference.
+
+Paired workloads, each run with ``engine="reference"`` and
+``engine="batched"`` on :class:`repro.simulation.network.BCNNetworkSimulator`:
+
+* **dumbbell_fluid_vs_packet** — the V2 validation configuration
+  (fluid-exact regulator, Bernoulli sampling, no PAUSE) on a 0.2 s
+  horizon; the ISSUE's macrobenchmark — the committed
+  ``BENCH_packet.json`` must show ≥ 5×;
+* **dumbbell_message_mode** — the Section IV example parameters under
+  the draft's literal message semantics (deterministic sampling,
+  quantized FB, association-gated positive feedback, PAUSE armed).
+
+Every test tags ``benchmark.extra_info`` with ``workload``/``engine``
+and the ``simulated_seconds`` horizon; ``tools/bench_report.py`` pairs
+the engines per workload, computes ns per simulated second and the
+speedup, and fails below ``--min-speedup``.
+
+An unpaired microbench times the calendar-queue event kernel against
+the binary heap on a pure schedule/fire storm (tagged
+``engine="calendar"``/``"heap"``, deliberately not gated — the calendar
+kernel's win depends on slot tuning, and the multihop fabric is its
+only consumer).
+"""
+
+from repro.core.parameters import paper_example_params
+from repro.experiments.v2_fluid_vs_packet import validation_params
+from repro.simulation.engine import make_simulator
+from repro.simulation.network import BCNNetworkSimulator
+
+V2_DURATION = 0.2
+MSG_DURATION = 0.03
+
+V2_KWARGS = dict(
+    frame_bits=1500,
+    regulator_mode="fluid-exact",
+    fb_bits=None,
+    require_association=False,
+    positive_only_below_q0=False,
+    random_sampling=True,
+    enable_pause=False,
+)
+
+
+def _run_v2(engine):
+    net = BCNNetworkSimulator(validation_params(), engine=engine, **V2_KWARGS)
+    return net.run(V2_DURATION)
+
+
+def _run_message(engine):
+    net = BCNNetworkSimulator(paper_example_params(), engine=engine)
+    return net.run(MSG_DURATION)
+
+
+def test_bench_dumbbell_fluid_vs_packet_batched(benchmark):
+    res = benchmark.pedantic(lambda: _run_v2("batched"),
+                             rounds=3, iterations=1)
+    benchmark.extra_info.update(
+        workload="dumbbell_fluid_vs_packet", engine="batched",
+        simulated_seconds=V2_DURATION)
+    assert res.forwarded_frames > 0
+    assert 0.9 <= res.utilization() <= 1.0 + 1e-9
+
+
+def test_bench_dumbbell_fluid_vs_packet_reference(benchmark):
+    res = benchmark.pedantic(lambda: _run_v2("reference"),
+                             rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        workload="dumbbell_fluid_vs_packet", engine="reference",
+        simulated_seconds=V2_DURATION)
+    assert res.forwarded_frames > 0
+
+
+def test_bench_dumbbell_message_mode_batched(benchmark):
+    res = benchmark.pedantic(lambda: _run_message("batched"),
+                             rounds=3, iterations=1)
+    benchmark.extra_info.update(
+        workload="dumbbell_message_mode", engine="batched",
+        simulated_seconds=MSG_DURATION)
+    assert res.bcn_negative > 0
+
+
+def test_bench_dumbbell_message_mode_reference(benchmark):
+    res = benchmark.pedantic(lambda: _run_message("reference"),
+                             rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        workload="dumbbell_message_mode", engine="reference",
+        simulated_seconds=MSG_DURATION)
+    assert res.bcn_negative > 0
+
+
+# -- event-kernel microbench (unpaired, not gated) -------------------------
+
+N_EVENTS = 50_000
+
+
+def _event_storm(kernel):
+    # Near-horizon churn plus a far tail that exercises the overflow
+    # heap and horizon rolling on the calendar kernel.
+    sim = make_simulator(kernel, slot_width=1e-5, n_slots=1024)
+    count = 0
+
+    def tick():
+        nonlocal count
+        count += 1
+
+    for i in range(N_EVENTS):
+        sim.schedule((i % 997) * 1e-5 + 1e-7, tick)
+    for i in range(N_EVENTS // 10):
+        sim.schedule(0.5 + (i % 89) * 1e-3, tick)
+    sim.run()
+    return count
+
+
+def test_bench_event_kernel_heap(benchmark):
+    fired = benchmark.pedantic(lambda: _event_storm("heap"),
+                               rounds=3, iterations=1)
+    benchmark.extra_info.update(workload="event_storm", engine="heap")
+    assert fired == N_EVENTS + N_EVENTS // 10
+
+
+def test_bench_event_kernel_calendar(benchmark):
+    fired = benchmark.pedantic(lambda: _event_storm("calendar"),
+                               rounds=3, iterations=1)
+    benchmark.extra_info.update(workload="event_storm", engine="calendar")
+    assert fired == N_EVENTS + N_EVENTS // 10

@@ -114,6 +114,7 @@ def fluid_vs_packet(
     regulator_mode: str = "fluid-exact",
     fluid_mode: str = "physical",
     fluid_engine: str = "reference",
+    packet_engine: str = "reference",
 ) -> tuple[AgreementReport, dict]:
     """Run both substrates from matched initial conditions and compare.
 
@@ -126,7 +127,10 @@ def fluid_vs_packet(
     is the event-accurate ``solve_ivp`` integrator, ``"batch"`` the
     vectorized RK4 kernel (:mod:`repro.fluid.batch`) — useful when the
     comparison is swept over many parameter points and the fluid side
-    dominates the sweep cost.
+    dominates the sweep cost.  ``packet_engine`` selects the packet
+    side the same way: ``"reference"`` (event-driven oracle) or
+    ``"batched"`` (frame-train batching, see
+    :class:`~repro.simulation.network.BCNNetworkSimulator`).
 
     Returns the agreement report plus a dict of the raw series for
     plotting (keys ``fluid_t``, ``fluid_q``, ``packet_t``, ``packet_q``).
@@ -143,6 +147,7 @@ def fluid_vs_packet(
         positive_only_below_q0=False,
         random_sampling=True,
         enable_pause=False,
+        engine=packet_engine,
     )
     packet = net.run(duration)
 

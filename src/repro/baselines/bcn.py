@@ -22,6 +22,7 @@ def run_bcn_dumbbell(
     frame_bits: int = 1500 * 8,
     propagation_delay: float = 0.5e-6,
     regulator_mode: str = "message",
+    engine: str = "reference",
 ) -> BaselineResult:
     """Run the BCN dumbbell and return the common result shape."""
     net = BCNNetworkSimulator(
@@ -30,6 +31,7 @@ def run_bcn_dumbbell(
         propagation_delay=propagation_delay,
         initial_rate=initial_rate,
         regulator_mode=regulator_mode,
+        engine=engine,
     )
     res = net.run(duration)
     return BaselineResult(

@@ -58,7 +58,8 @@ def _flows() -> list[FlowSpec]:
     return aggressors + [victim]
 
 
-def _run_config(*, enable_bcn: bool, enable_pause: bool):
+def _run_config(*, enable_bcn: bool, enable_pause: bool,
+                engine: str = "reference"):
     fabric = _two_port_fabric()
     config = PortConfig(
         q0=100e3,
@@ -70,12 +71,13 @@ def _run_config(*, enable_bcn: bool, enable_pause: bool):
         regulator_mode="message",
     )
     network = MultiHopNetwork(fabric, _flows(), config,
-                              propagation_delay=1e-6)
+                              propagation_delay=1e-6, engine=engine)
     return network.run(0.3)
 
 
 @register("m1")
-def run(*, render_plots: bool = True) -> ExperimentResult:
+def run(*, render_plots: bool = True,
+        engine: str = "reference") -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="m1",
         title="Victim flow: PAUSE-only congestion spreading vs BCN",
@@ -83,8 +85,9 @@ def run(*, render_plots: bool = True) -> ExperimentResult:
                        "aggressor goodput (Mb/s)", "drops", "pauses"],
     )
 
-    pause_only = _run_config(enable_bcn=False, enable_pause=True)
-    bcn = _run_config(enable_bcn=True, enable_pause=False)
+    pause_only = _run_config(enable_bcn=False, enable_pause=True,
+                             engine=engine)
+    bcn = _run_config(enable_bcn=True, enable_pause=False, engine=engine)
 
     def victim_goodput(res):
         return res.flow_throughput(3)

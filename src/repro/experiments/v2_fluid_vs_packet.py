@@ -37,9 +37,11 @@ def validation_params() -> BCNParams:
 
 
 @register("v2")
-def run(*, render_plots: bool = True, duration: float = 0.4) -> ExperimentResult:
+def run(*, render_plots: bool = True, duration: float = 0.4,
+        engine: str = "reference") -> ExperimentResult:
     params = validation_params()
-    report, series = fluid_vs_packet(params, duration=duration, frame_bits=1500)
+    report, series = fluid_vs_packet(params, duration=duration, frame_bits=1500,
+                                     packet_engine=engine)
     result = ExperimentResult(
         experiment_id="v2",
         title="Fluid model vs packet-level DES (queue trajectory shape)",

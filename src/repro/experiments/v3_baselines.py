@@ -39,7 +39,8 @@ __all__ = ["run"]
 
 
 @register("v3")
-def run(*, render_plots: bool = True, duration: float = 0.03) -> ExperimentResult:
+def run(*, render_plots: bool = True, duration: float = 0.03,
+        engine: str = "reference") -> ExperimentResult:
     bcn_params = paper_example_params()
     c, n, q0, buf = (
         bcn_params.capacity,
@@ -50,7 +51,7 @@ def run(*, render_plots: bool = True, duration: float = 0.03) -> ExperimentResul
     settle = duration / 2
 
     runs = {
-        "bcn": run_bcn_dumbbell(bcn_params, duration),
+        "bcn": run_bcn_dumbbell(bcn_params, duration, engine=engine),
         "qcn": run_qcn_dumbbell(
             QCNParams(capacity=c, n_flows=n, q0=q0, buffer_bits=buf), duration
         ),

@@ -7,16 +7,18 @@ orchestrator (:mod:`.network`).  Frame formats, including the Fig. 2 BCN
 message, live in :mod:`.frames`.
 """
 
-from .engine import Event, Simulator
+from .engine import CalendarSimulator, Event, Simulator, make_simulator
 from .frames import BCN_ETHERTYPE, BCNMessage, EthernetFrame, PauseFrame
 from .link import Link
-from .network import BCNNetworkSimulator, SimulationResult
+from .network import PACKET_ENGINES, BCNNetworkSimulator, SimulationResult
 from .queueing import DropTailQueue
 from .source import RateRegulator, TrafficSource, expected_message_interval
-from .switch import CoreSwitch, SwitchStats
+from .switch import BatchedSwitchKernel, BatchedWindow, CoreSwitch, SwitchStats
 
 __all__ = [
     "Simulator",
+    "CalendarSimulator",
+    "make_simulator",
     "Event",
     "EthernetFrame",
     "BCNMessage",
@@ -26,11 +28,14 @@ __all__ = [
     "DropTailQueue",
     "CoreSwitch",
     "SwitchStats",
+    "BatchedSwitchKernel",
+    "BatchedWindow",
     "RateRegulator",
     "TrafficSource",
     "expected_message_interval",
     "BCNNetworkSimulator",
     "SimulationResult",
+    "PACKET_ENGINES",
 ]
 
 from .multihop import MultiHopNetwork, MultiHopResult, PortConfig

@@ -18,12 +18,62 @@ import numpy as np
 
 from ..core.parameters import BCNParams
 from .engine import Simulator
-from .frames import EthernetFrame
+from .frames import BCNMessage, EthernetFrame, PauseFrame
 from .link import Link
 from .source import RateRegulator, TrafficSource, expected_message_interval
-from .switch import CoreSwitch
+from .switch import BatchedSwitchKernel, CoreSwitch
 
-__all__ = ["SimulationResult", "BCNNetworkSimulator"]
+__all__ = ["SimulationResult", "BCNNetworkSimulator", "PACKET_ENGINES"]
+
+#: Selectable packet engines: the event-driven oracle and the
+#: frame-train batched fast path.
+PACKET_ENGINES = ("reference", "batched")
+
+
+class _SeriesBuffer:
+    """An appendable ``(t, value)`` series backed by growable arrays.
+
+    The recorder used to collect Python lists of tuples and convert
+    them element-by-element at the end of a run; this keeps the samples
+    in preallocated float arrays (doubling on overflow) and hands back
+    views with a single slice.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self._t = np.empty(max(capacity, 16))
+        self._v = np.empty(max(capacity, 16))
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _grow(self, need: int) -> None:
+        capacity = self._t.size
+        while capacity < need:
+            capacity *= 2
+        t = np.empty(capacity)
+        v = np.empty(capacity)
+        t[: self._n] = self._t[: self._n]
+        v[: self._n] = self._v[: self._n]
+        self._t, self._v = t, v
+
+    def append(self, t: float, value: float) -> None:
+        if self._n == self._t.size:
+            self._grow(self._n + 1)
+        self._t[self._n] = t
+        self._v[self._n] = value
+        self._n += 1
+
+    def extend(self, t: np.ndarray, values: np.ndarray) -> None:
+        n = self._n + t.size
+        if n > self._t.size:
+            self._grow(n)
+        self._t[self._n : n] = t
+        self._v[self._n : n] = values
+        self._n = n
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._t[: self._n].copy(), self._v[: self._n].copy()
 
 
 @dataclass
@@ -121,6 +171,22 @@ class BCNNetworkSimulator:
     queue_sample_interval:
         Recorder period for the queue series; defaults to 50 service
         times.
+    engine:
+        ``"reference"`` (the event-driven kernel, one callback per
+        frame — the differential oracle) or ``"batched"`` (frame-train
+        batching: sources plan whole emission trains as numpy arrays
+        and the switch drains them through the vectorized
+        :class:`~repro.simulation.switch.BatchedSwitchKernel`).  Both
+        engines are deterministic; they agree within a documented
+        tolerance — the batched engine computes queue/sigma/sampling
+        exactly but applies control messages to the regulators at
+        window boundaries, so rate changes can lag their reference
+        timing by up to one ``control_quantum``.
+    control_quantum:
+        Window length for the batched engine; defaults to twice the
+        expected BCN inter-message time (small enough that the
+        compensated regulator lag stays well below the control loop
+        period, large enough to amortize the numpy batch overhead).
     """
 
     def __init__(
@@ -139,10 +205,33 @@ class BCNNetworkSimulator:
         require_association: bool = True,
         positive_only_below_q0: bool = True,
         random_sampling: bool = False,
+        engine: str = "reference",
+        control_quantum: float | None = None,
     ) -> None:
+        if engine not in PACKET_ENGINES:
+            raise ValueError(
+                f"unknown packet engine {engine!r}; pick from {PACKET_ENGINES}"
+            )
         self.params = params
         self.frame_bits = frame_bits
+        self.engine = engine
         self.sim = Simulator()
+        self._propagation_delay = propagation_delay
+        self._enable_pause = enable_pause
+        self._pause_duration = pause_duration
+        self._quantum_explicit = control_quantum is not None
+        if control_quantum is None:
+            # Auto window: the fluid regulator modes integrate feedback
+            # over elapsed time, so the owed-bits pacing compensation
+            # keeps two message intervals per window accurate; message
+            # mode takes large per-message rate jumps (up to 50% each),
+            # so halve the window to keep the boundary-application lag
+            # inside the documented tolerance.
+            emi = expected_message_interval(
+                params.n_flows, frame_bits, params.pm, params.capacity
+            )
+            control_quantum = emi if regulator_mode == "message" else 2.0 * emi
+        self._control_quantum = control_quantum
         if initial_rate is None:
             # Start in mild overload so the BCN loop engages: at exactly
             # the fair share the queue never builds and (per the draft)
@@ -175,8 +264,8 @@ class BCNNetworkSimulator:
 
         self.sources: list[TrafficSource] = []
         self._delivered_bits = 0.0
-        self._queue_samples: list[tuple[float, float]] = []
-        self._rate_samples: list[tuple[float, float]] = []
+        self._queue_samples = _SeriesBuffer()
+        self._rate_samples = _SeriesBuffer()
 
         for i in range(params.n_flows):
             regulator = RateRegulator(
@@ -212,9 +301,196 @@ class BCNNetworkSimulator:
         self._delivered_bits += frame.size_bits
 
     def _record(self) -> None:
-        self._queue_samples.append((self.sim.now, self.switch.queue_bits))
+        self._queue_samples.append(self.sim.now, self.switch.queue_bits)
         total_rate = sum(s.rate for s in self.sources)
-        self._rate_samples.append((self.sim.now, total_rate))
+        self._rate_samples.append(self.sim.now, total_rate)
+
+    def _run_batched(self, duration: float) -> None:
+        """Drive the scenario with frame-train batching.
+
+        The run advances in control-quantum windows.  Within a window
+        every regulator's rate is frozen, so each source contributes an
+        arithmetic emission train (the maths of
+        :meth:`~repro.simulation.source.TrafficSource.plan_train`, held
+        vectorized across sources); the merged train goes through the
+        vectorized switch kernel, which returns the BCN messages (and
+        possibly a PAUSE) the window generated.  Control is delivered to
+        the sources at the window boundary with its true timestamps —
+        the regulator arithmetic (including the fluid modes' ``dt``
+        integration) is exact, but a rate update takes effect on pacing
+        up to one window later than under the reference engine.  The
+        first-order part of that lag is compensated: each update books
+        the bits the new rate would have (not) sent before the boundary
+        and shifts the source's next emission to repay them, so the
+        emitted bit count tracks the reference pacing to second order
+        in the quantum.  A PAUSE truncates the window so its boundary
+        stays sharp; a window where drop-tail engages is replayed
+        frame-by-frame by the kernel's exact scalar fallback.
+        """
+        if any(s.muted or s.total_bits is not None for s in self.sources):
+            raise NotImplementedError(
+                "the batched engine paces continuous sources only; "
+                "use engine='reference' for muted or finite flows"
+            )
+        d = self._propagation_delay
+        L = float(self.frame_bits)
+        n = len(self.sources)
+        cpid = self.switch.cpid
+        kernel = BatchedSwitchKernel(
+            self.switch,
+            self.frame_bits,
+            pause_fanout=n if self._enable_pause else 0,
+        )
+        self._batched_kernel = kernel
+        # The auto quantum (2x the expected message interval) assumes the
+        # run is long relative to the control loop; cap it so short runs
+        # still get enough windows for the boundary-applied messages to
+        # track the reference dynamics.  An explicit control_quantum is
+        # always respected.
+        quantum = self._control_quantum
+        if not self._quantum_explicit:
+            quantum = min(quantum, duration / 32.0)
+        dt = self._queue_dt
+
+        # Recorder grid mirroring the reference engine: one sample at
+        # t=0, one per tick, and a final sample at `duration` (which
+        # duplicates the last tick when duration is a tick multiple,
+        # exactly as the event-driven recorder does).
+        ticks = dt * np.arange(1, int(np.floor(duration / dt + 1e-9)) + 1)
+        grid = np.concatenate([ticks[ticks <= duration], [duration]])
+        grid_pos = 0
+        self._record()
+
+        # Pacing state, one slot per source.
+        src_idx = np.arange(n)
+        rates = np.array([s.regulator.rate for s in self.sources])
+        total_rate = float(rates.sum())
+        gaps = L / rates
+        next_emit = gaps.copy()  # first emission one gap after start
+        paused = np.zeros(n)
+        assoc_flags = np.array(
+            [s.regulator.associated_cpid == cpid for s in self.sources]
+        )
+        frames_acc = np.zeros(n, dtype=int)
+        owed_bits = np.zeros(n)  # lag-compensation ledger
+
+        t = 0.0
+        while t < duration:
+            t_end = min(t + quantum, duration)
+            until = t_end - d
+            first = np.maximum(next_emit, paused)
+            counts = np.where(
+                first <= until,
+                np.floor((until - first) / gaps) + 1.0,
+                0.0,
+            ).astype(int)
+            total = int(counts.sum())
+            if total:
+                srcs = np.repeat(src_idx, counts)
+                ends = np.cumsum(counts)
+                offsets = np.arange(total) - np.repeat(ends - counts, counts)
+                times = (np.repeat(first, counts)
+                         + np.repeat(gaps, counts) * offsets + d)
+                order = np.argsort(times, kind="stable")
+                times = times[order]
+                srcs = srcs[order]
+                assoc = assoc_flags[srcs]
+            else:
+                times = np.empty(0)
+                srcs = np.empty(0, dtype=int)
+                assoc = np.empty(0, dtype=bool)
+
+            window = kernel.process(t, t_end, times, srcs, assoc)
+
+            # Advance each source's pacing by its committed prefix while
+            # the planning rate is still in force.
+            committed = (
+                np.bincount(srcs[: window.committed], minlength=n)
+                if window.committed else np.zeros(n, dtype=int)
+            )
+            frames_acc += committed
+            has = committed > 0
+            next_emit[has] = first[has] + gaps[has] * committed[has]
+            held = (counts > 0) & ~has  # planned but cut off (PAUSE)
+            next_emit[held] = first[held]
+            self._delivered_bits += window.delivered_bits
+
+            # Emit recorder samples covered by this window.
+            hi = int(np.searchsorted(grid, window.t_commit, side="right"))
+            if hi > grid_pos:
+                pts = grid[grid_pos:hi]
+                self._queue_samples.extend(pts, kernel.queue_at(pts))
+                self._rate_samples.extend(
+                    pts, np.full(pts.size, total_rate)
+                )
+                grid_pos = hi
+
+            # Deliver the window's control plane in timestamp order.
+            for k in range(window.msg_t.size):
+                i = int(window.msg_src[k])
+                sent_at = float(window.msg_t[k])
+                deliver_at = sent_at + d
+                self.sim._now = deliver_at
+                source = self.sources[i]
+                rate_before = source.regulator.rate
+                source.receive_control(
+                    BCNMessage(
+                        da=i,
+                        sa=cpid,
+                        cpid=cpid,
+                        fb=float(window.msg_fb[k]),
+                        q_off=float(window.msg_q_off[k]),
+                        q_delta=float(window.msg_dq[k]),
+                        fb_raw=float(window.msg_sigma[k]),
+                        sent_at=sent_at,
+                    )
+                )
+                rate_after = source.regulator.rate
+                if rate_after != rate_before:
+                    delta = rate_after - rate_before
+                    owed_bits[i] += delta * max(
+                        window.t_commit - deliver_at, 0.0
+                    )
+                    total_rate += delta
+                    rates[i] = rate_after
+                    gaps[i] = L / rate_after
+                assoc_flags[i] = (
+                    source.regulator.associated_cpid == cpid
+                )
+            if window.pause_at is not None and self._enable_pause:
+                self.sim._now = window.pause_at + d
+                pause = PauseFrame(
+                    sa=cpid,
+                    duration=self._pause_duration,
+                    sent_at=window.pause_at,
+                )
+                for i, source in enumerate(self.sources):
+                    source.receive_control(pause)
+                    paused[i] = source.paused_until
+
+            # Repay the lag ledger: a positive balance means the new
+            # rate would have sent more bits before the boundary, so
+            # the next emission moves earlier (clamped to stay beyond
+            # the planned horizon; the unpaid remainder carries over).
+            # Sources holding a cut-off emission keep their schedule.
+            if np.any(owed_bits):
+                movable = next_emit > until
+                target = np.where(
+                    movable,
+                    np.maximum(next_emit - owed_bits / rates,
+                               np.nextafter(until, np.inf)),
+                    next_emit,
+                )
+                owed_bits -= (next_emit - target) * rates
+                next_emit = target
+
+            t = window.t_commit
+
+        for i, source in enumerate(self.sources):
+            source.frames_sent += int(frames_acc[i])
+            source.bits_sent += float(frames_acc[i]) * L
+            source._train_next = float(next_emit[i])
+        self.sim._now = duration
 
     # -- driving ---------------------------------------------------------------
 
@@ -222,17 +498,20 @@ class BCNNetworkSimulator:
         """Run the scenario for ``duration`` seconds of simulated time."""
         if duration <= 0:
             raise ValueError("duration must be positive")
-        for source in self.sources:
-            source.start()
-        self._record()
-        self.sim.schedule_every(self._queue_dt, self._record, until=duration)
-        self.sim.run(until=duration)
-        self._record()
+        if self.engine == "batched":
+            self._run_batched(duration)
+        else:
+            for source in self.sources:
+                source.start()
+            self._record()
+            self.sim.schedule_every(
+                self._queue_dt, self._record, until=duration
+            )
+            self.sim.run(until=duration)
+            self._record()
 
-        t_q = np.array([t for t, _ in self._queue_samples])
-        q = np.array([v for _, v in self._queue_samples])
-        t_r = np.array([t for t, _ in self._rate_samples])
-        r = np.array([v for _, v in self._rate_samples])
+        t_q, q = self._queue_samples.arrays()
+        t_r, r = self._rate_samples.arrays()
         return SimulationResult(
             t=t_q,
             queue=q,

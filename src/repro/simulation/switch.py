@@ -22,16 +22,19 @@ address.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Callable
+
+import numpy as np
 
 from .engine import Simulator
 from .frames import BCNMessage, EthernetFrame, PauseFrame
 from .link import Link
 from .queueing import DropTailQueue
 
-__all__ = ["CoreSwitch", "SwitchStats"]
+__all__ = ["CoreSwitch", "SwitchStats", "BatchedSwitchKernel", "BatchedWindow"]
 
 
 @dataclass
@@ -137,6 +140,7 @@ class CoreSwitch:
         #: (seeded, reproducible) restores the fluid model's uniform
         #: per-flow feedback and is used by the validation experiments.
         self._rng = random.Random(sampling_seed) if random_sampling else None
+        self._sampling_seed = sampling_seed
         self._q_at_last_sample = 0.0
         self._busy = False
         self._pause_armed = True
@@ -274,3 +278,416 @@ class CoreSwitch:
             self._start_service()
 
         self.sim.schedule(service_time, done)
+
+
+@dataclass
+class BatchedWindow:
+    """What one frame-train window produced at the congestion point.
+
+    ``msg_*`` arrays hold one row per BCN message the switch decided to
+    emit (negative and gated positive feedback alike, in sample-time
+    order); the orchestrator turns them into
+    :class:`~repro.simulation.frames.BCNMessage` deliveries.
+    """
+
+    t_start: float
+    t_commit: float
+    committed: int  #: new arrivals committed (may be < len(times) on PAUSE)
+    msg_t: np.ndarray
+    msg_src: np.ndarray
+    msg_fb: np.ndarray
+    msg_sigma: np.ndarray
+    msg_q_off: np.ndarray
+    msg_dq: np.ndarray
+    pause_at: float | None
+    delivered_bits: float
+    drops: int
+
+
+class BatchedSwitchKernel:
+    """Vectorized frame-train processing for one :class:`CoreSwitch`.
+
+    The batched packet engine replaces the per-frame event cascade
+    (emit, link, offer, serve, done) with window-sized numpy batches:
+    between control boundaries every source's rate is constant, so the
+    switch can ingest a whole merged frame train at once.  Service is
+    the classic Lindley recursion — with uniform frame size ``L`` and
+    service time ``s = L/C`` the completion times of FIFO arrivals
+    ``A_k`` follow ``c_k = max(A_k, c_{k-1}) + s``, a prefix-maximum
+    that vectorizes as ``c = s*k + max(c0, cummax(A_k - s*(k-1)))``.
+    Queue occupancy at each arrival, the deterministic or Bernoulli
+    ``pm`` sampling pattern, the congestion measure ``sigma`` and FB
+    quantization all follow from those arrays with the exact semantics
+    of :meth:`CoreSwitch.receive`/``_process_sample``.  Deterministic
+    sampling advances the same modular counter as the reference
+    engine; Bernoulli sampling draws one variate per arrival from a
+    numpy ``Generator`` seeded with the switch's ``sampling_seed`` —
+    reproducible run to run, but an independent stream from the
+    reference engine's ``random.Random`` (the two engines' sampled
+    trajectories agree statistically, not draw for draw).
+
+    The fast path assumes no frame is dropped; when the no-drop check
+    fails the window falls back to an exact per-frame scalar loop
+    (drops are control boundaries in the ISSUE's sense).  A severe
+    congestion (PAUSE) crossing truncates the window at the crossing
+    arrival so the orchestrator can deliver the PAUSE and re-plan
+    trains.
+
+    Shared state lives on the wrapped switch (stats, drop-tail
+    counters, sigma history, sampling state); in batched mode the
+    switch's :class:`~repro.simulation.queueing.DropTailQueue` holds no
+    frame objects — only its counters advance.
+    """
+
+    def __init__(
+        self,
+        switch: CoreSwitch,
+        frame_bits: int,
+        *,
+        pause_fanout: int | None = None,
+    ) -> None:
+        if frame_bits <= 0:
+            raise ValueError("frame_bits must be positive")
+        self.switch = switch
+        self.frame_bits = frame_bits
+        self._ssvc = frame_bits / switch.capacity
+        #: How many upstream neighbours a PAUSE reaches (the reference
+        #: engine counts one per registered pause link).
+        self.pause_fanout = (
+            pause_fanout if pause_fanout is not None
+            else len(switch._pause_links)
+        )
+        #: Bernoulli sampling stream for the batched engine (None when
+        #: the switch samples deterministically).
+        self._rng = (
+            np.random.default_rng(switch._sampling_seed)
+            if switch._rng is not None else None
+        )
+        #: frames enqueued but whose service has not started
+        self._backlog = 0
+        #: completion time of the most recently started frame
+        self._next_free = 0.0
+        #: True while a frame is in service completing at ``_next_free``
+        self._inflight = False
+        #: PAUSE re-arm time (armed when the clock passes it)
+        self._pause_rearm_at = -math.inf if switch._pause_armed else math.inf
+        # arrays of the last committed window, for queue_at()
+        self._win_arrivals = np.empty(0)
+        self._win_starts = np.empty(0)
+
+    # -- queue series ------------------------------------------------------
+
+    def queue_at(self, times: np.ndarray) -> np.ndarray:
+        """Queue occupancy (bits) at times inside the last window."""
+        times = np.asarray(times, dtype=float)
+        arrived = np.searchsorted(self._win_arrivals, times, side="right")
+        started = np.searchsorted(self._win_starts, times, side="right")
+        return self.frame_bits * (arrived - started).astype(float)
+
+    # -- window processing -------------------------------------------------
+
+    def process(
+        self,
+        t_start: float,
+        t_end: float,
+        times: np.ndarray,
+        srcs: np.ndarray,
+        assoc: np.ndarray,
+    ) -> BatchedWindow:
+        """Ingest the merged arrival train ``times`` (sorted) up to ``t_end``.
+
+        Residual frames queued at ``t_start`` are handled as FIFO
+        predecessors of the new arrivals.  Returns the committed prefix
+        (everything, unless a PAUSE crossing cut the window short) plus
+        the BCN messages it generated.
+        """
+        sw = self.switch
+        L = self.frame_bits
+        ssvc = self._ssvc
+        m = int(times.size)
+        n_res = self._backlog
+
+        # FIFO stream = residual frames (already queued) then new arrivals.
+        if n_res:
+            arrivals = np.concatenate([np.full(n_res, t_start), times])
+        else:
+            arrivals = times
+        total = n_res + m
+
+        prev_inflight = self._inflight
+        prev_next_free = self._next_free
+        c0 = self._next_free if self._inflight else t_start
+
+        if total:
+            k = np.arange(1, total + 1, dtype=float)
+            hull = np.maximum.accumulate(arrivals - ssvc * (k - 1.0))
+            completions = ssvc * k + np.maximum(c0, hull)
+            starts = completions - ssvc
+        else:
+            completions = starts = np.empty(0)
+
+        pause_at: float | None = None
+        drops = 0
+        if m:
+            # Occupancy just after each new arrival is offered (own frame
+            # included, in-service frame excluded) — assuming no drops.
+            # A start exactly at the arrival instant counts as "before"
+            # only when it belongs to an earlier frame (the reference
+            # engine processes the completion that triggered it first);
+            # the arrival's own immediate start must not.  searchsorted
+            # side="right" plus a clamp at the frame's own position gets
+            # both, and is robust to the reconstructed start times
+            # rounding one ulp below the arrival they equal.
+            started_before = np.minimum(
+                np.searchsorted(starts, times, side="right"),
+                np.arange(n_res, total),
+            )
+            q_bits = L * (np.arange(n_res + 1, total + 1)
+                          - started_before).astype(float)
+            if bool(np.any(q_bits > sw.queue.capacity_bits)):
+                # Drop-tail engages somewhere in this window: per-frame
+                # fallback reproduces the reference semantics exactly.
+                return self._process_scalar(t_start, t_end, times, srcs, assoc)
+
+            if sw.q_sc is not None:
+                crossing = (q_bits > sw.q_sc) & (times >= self._pause_rearm_at)
+                hits = np.nonzero(crossing)[0]
+                if hits.size:
+                    cut = int(hits[0])
+                    pause_at = float(times[cut])
+                    self._pause_rearm_at = pause_at + sw.pause_duration
+                    sw.stats.pauses_sent += self.pause_fanout
+                    # commit the crossing arrival, defer the rest
+                    m = cut + 1
+                    total = n_res + m
+                    times = times[:m]
+                    srcs = srcs[:m]
+                    assoc = assoc[:m]
+                    arrivals = arrivals[:total]
+                    completions = completions[:total]
+                    starts = starts[:total]
+                    q_bits = q_bits[:m]
+        else:
+            q_bits = np.empty(0)
+
+        t_commit = t_end if pause_at is None else pause_at
+
+        # -- sampling / BCN ------------------------------------------------
+        if m:
+            if self._rng is not None:
+                sampled = self._rng.random(m) < sw.pm
+            else:
+                idx = np.arange(1, m + 1)
+                sampled = (sw._arrivals_since_sample + idx) \
+                    % sw._sample_interval == 0
+                sw._arrivals_since_sample = \
+                    (sw._arrivals_since_sample + m) % sw._sample_interval
+            sample_idx = np.nonzero(sampled)[0]
+        else:
+            sample_idx = np.empty(0, dtype=int)
+
+        if sample_idx.size:
+            qs = q_bits[sample_idx]
+            q_prev = np.concatenate([[sw._q_at_last_sample], qs[:-1]])
+            dq = qs - q_prev
+            sigma = (sw.q0 - qs) - sw.w * dq
+            sw._q_at_last_sample = float(qs[-1])
+            t_s = times[sample_idx]
+            sw.stats.samples += int(sample_idx.size)
+            sw.sigma_history.extend(zip(t_s.tolist(), sigma.tolist()))
+
+            negative = sigma < 0
+            positive = (sigma > 0) \
+                & ((qs < sw.q0) | (not sw.positive_only_below_q0))
+            if sw.require_association:
+                positive &= assoc[sample_idx]
+            sw.stats.bcn_negative += int(np.count_nonzero(negative))
+            sw.stats.bcn_positive += int(np.count_nonzero(positive))
+            emit = negative | positive
+            msg_t = t_s[emit]
+            msg_src = srcs[sample_idx][emit]
+            msg_sigma = sigma[emit]
+            msg_q_off = sw.q0 - qs[emit]
+            msg_dq = dq[emit]
+            if sw.fb_bits is not None and sw.sigma_unit is not None:
+                full_scale = 2 ** (sw.fb_bits - 1)
+                msg_fb = np.clip(np.round(msg_sigma / sw.sigma_unit),
+                                 -full_scale, full_scale - 1).astype(float)
+            else:
+                msg_fb = msg_sigma
+        else:
+            msg_t = msg_src = msg_fb = msg_sigma = np.empty(0)
+            msg_q_off = msg_dq = np.empty(0)
+
+        # -- service accounting & state roll-forward -----------------------
+        delivered = int(np.searchsorted(completions, t_commit, side="right"))
+        if prev_inflight and t_start < prev_next_free <= t_commit:
+            delivered += 1
+        n_started = int(np.searchsorted(starts, t_commit, side="right"))
+        if n_started:
+            self._next_free = float(completions[n_started - 1])
+            self._inflight = self._next_free > t_commit
+        elif prev_inflight and prev_next_free <= t_commit:
+            self._inflight = False
+        self._backlog = total - n_started
+
+        delivered_bits = float(delivered * L)
+        sw.stats.forwarded_frames += delivered
+        sw.stats.forwarded_bits += delivered_bits
+        q = sw.queue
+        q.enqueued_frames += m
+        q.enqueued_bits += float(m * L)
+        q.dequeued_frames += n_started
+        q.dequeued_bits += float(n_started * L)
+
+        self._win_arrivals = arrivals
+        self._win_starts = starts
+
+        return BatchedWindow(
+            t_start=t_start, t_commit=t_commit, committed=m,
+            msg_t=msg_t, msg_src=msg_src, msg_fb=msg_fb,
+            msg_sigma=msg_sigma, msg_q_off=msg_q_off, msg_dq=msg_dq,
+            pause_at=pause_at, delivered_bits=delivered_bits, drops=drops,
+        )
+
+    # -- exact per-frame fallback -----------------------------------------
+
+    def _process_scalar(
+        self,
+        t_start: float,
+        t_end: float,
+        times: np.ndarray,
+        srcs: np.ndarray,
+        assoc: np.ndarray,
+    ) -> BatchedWindow:
+        """Reference-faithful per-frame loop for windows with drops."""
+        sw = self.switch
+        L = self.frame_bits
+        ssvc = self._ssvc
+        B = sw.queue.capacity_bits
+
+        backlog = self._backlog
+        prev_inflight = self._inflight
+        prev_next_free = self._next_free
+        next_free = self._next_free if self._inflight else -math.inf
+        any_started = False
+
+        acc_arrivals: list[float] = [t_start] * backlog
+        starts: list[float] = []
+        msg_rows: list[tuple[float, int, float, float, float, float]] = []
+        drops = 0
+        accepted_new = 0
+        pause_at: float | None = None
+        t_commit = t_end
+
+        interval = sw._sample_interval
+        rng = self._rng
+
+        for j in range(times.size):
+            a = float(times[j])
+            # services that started strictly before this arrival
+            while backlog and next_free < a:
+                starts.append(next_free)
+                next_free += ssvc
+                backlog -= 1
+                any_started = True
+            # sampling decision consumed before the offer, as in receive()
+            if rng is not None:
+                sampled = float(rng.random()) < sw.pm
+            else:
+                sw._arrivals_since_sample += 1
+                sampled = sw._arrivals_since_sample >= interval
+                if sampled:
+                    sw._arrivals_since_sample = 0
+            occ = backlog * L
+            accepted = occ + L <= B
+            if accepted:
+                accepted_new += 1
+                acc_arrivals.append(a)
+                sw.queue.enqueued_frames += 1
+                sw.queue.enqueued_bits += L
+                if backlog == 0 and next_free <= a:
+                    starts.append(a)
+                    next_free = a + ssvc
+                    any_started = True
+                else:
+                    backlog += 1
+                q_now = occ + L
+            else:
+                drops += 1
+                sw.queue.dropped_frames += 1
+                sw.queue.dropped_bits += L
+                q_now = occ
+            if sampled:
+                dq = q_now - sw._q_at_last_sample
+                sw._q_at_last_sample = q_now
+                sigma = (sw.q0 - q_now) - sw.w * dq
+                sw.stats.samples += 1
+                sw.sigma_history.append((a, sigma))
+                if sigma < 0:
+                    sw.stats.bcn_negative += 1
+                    msg_rows.append((a, int(srcs[j]), sigma,
+                                     sw.q0 - q_now, dq, sw.quantize_fb(sigma)))
+                elif sigma > 0 and (q_now < sw.q0
+                                    or not sw.positive_only_below_q0) and (
+                        not sw.require_association or bool(assoc[j])):
+                    sw.stats.bcn_positive += 1
+                    msg_rows.append((a, int(srcs[j]), sigma,
+                                     sw.q0 - q_now, dq, sw.quantize_fb(sigma)))
+            if (sw.q_sc is not None and q_now > sw.q_sc
+                    and a >= self._pause_rearm_at):
+                pause_at = a
+                self._pause_rearm_at = a + sw.pause_duration
+                sw.stats.pauses_sent += self.pause_fanout
+                t_commit = a
+                break
+
+        committed = j + 1 if times.size and (pause_at is not None) else (
+            int(times.size)
+        )
+        # drain services through the commit horizon
+        while backlog and next_free <= t_commit:
+            starts.append(next_free)
+            next_free += ssvc
+            backlog -= 1
+            any_started = True
+
+        starts_arr = np.asarray(starts, dtype=float)
+        delivered = int(np.searchsorted(starts_arr + ssvc, t_commit,
+                                        side="right"))
+        if prev_inflight and t_start < prev_next_free <= t_commit:
+            delivered += 1
+        if any_started:
+            self._next_free = next_free
+            self._inflight = next_free > t_commit
+        elif prev_inflight and prev_next_free <= t_commit:
+            self._inflight = False
+        self._backlog = backlog
+
+        delivered_bits = float(delivered * L)
+        sw.stats.forwarded_frames += delivered
+        sw.stats.forwarded_bits += delivered_bits
+        sw.queue.dequeued_frames += len(starts)
+        sw.queue.dequeued_bits += float(len(starts) * L)
+
+        self._win_arrivals = np.asarray(acc_arrivals, dtype=float)
+        self._win_starts = starts_arr
+
+        if msg_rows:
+            cols = list(zip(*msg_rows))
+            msg_t = np.asarray(cols[0], dtype=float)
+            msg_src = np.asarray(cols[1])
+            msg_sigma = np.asarray(cols[2], dtype=float)
+            msg_q_off = np.asarray(cols[3], dtype=float)
+            msg_dq = np.asarray(cols[4], dtype=float)
+            msg_fb = np.asarray(cols[5], dtype=float)
+        else:
+            msg_t = msg_src = msg_fb = msg_sigma = np.empty(0)
+            msg_q_off = msg_dq = np.empty(0)
+
+        return BatchedWindow(
+            t_start=t_start, t_commit=t_commit, committed=committed,
+            msg_t=msg_t, msg_src=msg_src, msg_fb=msg_fb,
+            msg_sigma=msg_sigma, msg_q_off=msg_q_off, msg_dq=msg_dq,
+            pause_at=pause_at, delivered_bits=delivered_bits, drops=drops,
+        )

@@ -1,0 +1,76 @@
+"""Differential property test: reference vs batched packet engine.
+
+For random small dumbbells the two engines must agree on aggregate
+behaviour.  Pointwise trajectory equality is not expected — the batched
+engine applies control messages at window boundaries, so the two queue
+sample paths decouple after a few control periods — but conservation
+laws hold exactly and the summary statistics stay within a documented
+tolerance:
+
+* bottleneck utilisation within 5 percentage points;
+* delivered bits within 5%;
+* total BCN volume within 30% (plus a small absolute floor for sparse
+  runs);
+* both engines agree on whether the buffer ever dropped frames, to
+  within a few frames.
+
+Both engines use deterministic (counter-based) ``pm`` sampling so they
+see the same sampling pattern.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import BCNParams
+from repro.simulation.network import BCNNetworkSimulator
+
+DURATION = 0.01
+
+
+def _run(engine, *, n_flows, pm, q0_frames, gd_shift):
+    params = BCNParams(
+        capacity=1e9,
+        n_flows=n_flows,
+        q0=q0_frames * 12_000.0,
+        buffer_size=8 * q0_frames * 12_000.0,
+        w=2.0,
+        pm=pm,
+        gi=4.0,
+        gd=2.0**-gd_shift,
+        ru=8e6,
+    )
+    net = BCNNetworkSimulator(params, frame_bits=12_000, engine=engine)
+    return net.run(DURATION)
+
+
+@given(
+    n_flows=st.integers(min_value=2, max_value=6),
+    pm=st.sampled_from([0.05, 0.1, 0.2]),
+    q0_frames=st.integers(min_value=20, max_value=120),
+    gd_shift=st.integers(min_value=6, max_value=9),
+)
+@settings(max_examples=12, deadline=None)
+def test_engines_agree_on_random_dumbbells(n_flows, pm, q0_frames, gd_shift):
+    ref = _run("reference", n_flows=n_flows, pm=pm, q0_frames=q0_frames,
+               gd_shift=gd_shift)
+    bat = _run("batched", n_flows=n_flows, pm=pm, q0_frames=q0_frames,
+               gd_shift=gd_shift)
+
+    # Conservation invariants hold for each engine independently.
+    for res in (ref, bat):
+        assert res.queue.min() >= 0.0
+        assert (res.t[1:] >= res.t[:-1]).all()
+        assert 0.0 <= res.utilization() <= 1.0 + 1e-9
+        assert res.delivered_bits <= res.capacity * res.duration * (1 + 1e-9)
+
+    # Differential tolerances (see module docstring).
+    assert abs(bat.utilization() - ref.utilization()) <= 0.05
+    assert abs(bat.delivered_bits - ref.delivered_bits) <= (
+        0.05 * max(ref.delivered_bits, 1.0)
+    )
+    ref_msgs = ref.bcn_negative + ref.bcn_positive
+    bat_msgs = bat.bcn_negative + bat.bcn_positive
+    assert abs(bat_msgs - ref_msgs) <= max(10, 0.3 * ref_msgs)
+    assert abs(bat.dropped_frames - ref.dropped_frames) <= max(
+        8, 0.25 * max(ref.dropped_frames, 1)
+    )

@@ -1,0 +1,87 @@
+"""Property tests for the Fig. 2 BCN wire format.
+
+Round-trip law: for any BCNMessage and any positive sigma quantum,
+``unpack_bcn(pack_bcn(m))`` recovers the addresses, the EtherType, and
+the FB field as the clamped quantized sigma — including at the signed
+32-bit boundaries where the switch-side saturation engages.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.frames import BCN_ETHERTYPE, BCNMessage
+from repro.simulation.wire import (
+    FB_MAX,
+    FB_MIN,
+    WIRE_LENGTH_BYTES,
+    pack_bcn,
+    unpack_bcn,
+)
+
+# Ordinary sigmas plus values that land exactly on / beyond the signed
+# 32-bit FB boundaries once quantized.
+fb_values = st.one_of(
+    st.floats(min_value=-1e12, max_value=1e12,
+              allow_nan=False, allow_infinity=False),
+    st.sampled_from([
+        float(FB_MIN), float(FB_MIN) - 1.0, float(FB_MIN) + 1.0,
+        float(FB_MAX), float(FB_MAX) + 1.0, float(FB_MAX) - 1.0,
+        -0.0, 0.0, 0.5, -0.5,
+    ]),
+)
+
+messages = st.builds(
+    BCNMessage,
+    da=st.integers(min_value=0, max_value=2**48 - 1),
+    sa=st.just("sw"),
+    cpid=st.text(min_size=1, max_size=24),
+    fb=fb_values,
+    q_off=st.just(0.0),
+    q_delta=st.just(0.0),
+    fb_raw=st.just(0.0),
+)
+
+
+@given(
+    message=messages,
+    switch_address=st.integers(min_value=0, max_value=2**48 - 1),
+    sigma_quantum=st.floats(min_value=1e-6, max_value=1e6,
+                            allow_nan=False, allow_infinity=False),
+)
+@settings(max_examples=200, deadline=None)
+def test_pack_unpack_round_trip(message, switch_address, sigma_quantum):
+    payload = pack_bcn(message, switch_address=switch_address,
+                       sigma_quantum=sigma_quantum)
+    assert len(payload) == WIRE_LENGTH_BYTES
+
+    wire = unpack_bcn(payload)
+    assert wire.da == message.da
+    assert wire.sa == switch_address
+    assert wire.ethertype == BCN_ETHERTYPE
+    assert wire.is_bcn
+
+    expected_fb = round(message.fb / sigma_quantum)
+    expected_fb = max(FB_MIN, min(FB_MAX, expected_fb))
+    assert wire.fb_quanta == expected_fb
+    assert FB_MIN <= wire.fb_quanta <= FB_MAX
+    assert wire.positive == (wire.fb_quanta > 0)
+
+
+@given(message=messages)
+@settings(max_examples=100, deadline=None)
+def test_packing_is_deterministic_and_cpid_stable(message):
+    a = pack_bcn(message)
+    b = pack_bcn(message)
+    assert a == b
+    assert unpack_bcn(a).cpid == unpack_bcn(b).cpid
+
+
+@given(fb=st.sampled_from([float(FB_MIN) * 3, float(FB_MAX) * 3]))
+@settings(max_examples=10, deadline=None)
+def test_fb_saturates_not_wraps(fb):
+    wire = unpack_bcn(pack_bcn(BCNMessage(
+        da=1, sa="sw", cpid="cp", fb=fb, q_off=0.0, q_delta=0.0,
+        fb_raw=fb)))
+    assert wire.fb_quanta in (FB_MIN, FB_MAX)
+    # Sign is preserved by saturation.
+    assert (wire.fb_quanta > 0) == (fb > 0)

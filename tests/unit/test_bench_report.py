@@ -1,0 +1,109 @@
+"""Unit tests for tools/bench_report.py (report building and merging)."""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT / "tools"))
+
+from bench_report import build_report  # noqa: E402
+
+
+def _bench(name, mean, *, workload=None, engine=None, **extra):
+    info = dict(extra)
+    if workload:
+        info["workload"] = workload
+    if engine:
+        info["engine"] = engine
+    return {
+        "name": name,
+        "stats": {"mean": mean, "stddev": 0.0, "rounds": 3},
+        "extra_info": info,
+    }
+
+
+def _raw(*benches, datetime="2026-01-01"):
+    return {
+        "datetime": datetime,
+        "machine_info": {"node": "test", "cpu": {"brand_raw": "x"}},
+        "benchmarks": list(benches),
+    }
+
+
+class TestSpeedupPairing:
+    def test_pairs_batch_against_reference(self):
+        report = build_report(_raw(
+            _bench("a", 1.0, workload="w", engine="batch"),
+            _bench("b", 5.0, workload="w", engine="reference"),
+        ))
+        assert report["speedups"]["w"]["speedup"] == 5.0
+        assert report["speedups"]["w"]["fast_engine"] == "batch"
+
+    def test_pairs_batched_against_reference(self):
+        report = build_report(_raw(
+            _bench("a", 0.5, workload="p", engine="batched"),
+            _bench("b", 4.0, workload="p", engine="reference"),
+        ))
+        assert report["speedups"]["p"]["speedup"] == 8.0
+        assert report["speedups"]["p"]["fast_engine"] == "batched"
+
+    def test_other_engine_tags_are_not_gated(self):
+        # heap/calendar microbenches share a workload but neither is a
+        # fast engine, so no speedup row (and hence no gate) appears.
+        report = build_report(_raw(
+            _bench("a", 1.0, workload="storm", engine="heap"),
+            _bench("b", 0.5, workload="storm", engine="calendar"),
+        ))
+        assert report["speedups"] == {}
+        assert set(report["kernels"]) == {"a", "b"}
+
+
+class TestThroughputFigures:
+    def test_trajectory_seconds_figure(self):
+        report = build_report(_raw(
+            _bench("a", 2.0, trajectory_seconds=100.0)))
+        assert report["kernels"]["a"]["ns_per_trajectory_second"] == (
+            2.0 / 100.0 * 1e9
+        )
+
+    def test_simulated_seconds_figure(self):
+        report = build_report(_raw(
+            _bench("a", 0.3, simulated_seconds=0.2)))
+        assert report["kernels"]["a"]["ns_per_simulated_second"] == (
+            0.3 / 0.2 * 1e9
+        )
+
+
+class TestMerging:
+    def test_merges_kernels_from_multiple_raws(self):
+        fluid = _raw(_bench("fluid_batch", 1.0, workload="f", engine="batch"),
+                     _bench("fluid_ref", 5.0, workload="f",
+                            engine="reference"))
+        packet = _raw(_bench("pkt_batched", 0.3, workload="p",
+                             engine="batched"),
+                      _bench("pkt_ref", 2.4, workload="p",
+                             engine="reference"))
+        report = build_report([fluid, packet])
+        assert set(report["kernels"]) == {
+            "fluid_batch", "fluid_ref", "pkt_batched", "pkt_ref",
+        }
+        assert set(report["speedups"]) == {"f", "p"}
+
+    def test_duplicates_keep_first_occurrence(self, capsys):
+        first = _raw(_bench("k", 1.0, workload="w", engine="batch"),
+                     _bench("r", 9.0, workload="w", engine="reference"))
+        second = _raw(_bench("k", 100.0, workload="w", engine="batch"))
+        report = build_report([first, second])
+        assert report["kernels"]["k"]["mean_s"] == 1.0
+        assert report["speedups"]["w"]["speedup"] == 9.0
+        assert "duplicate benchmark" in capsys.readouterr().err
+
+    def test_machine_info_from_first_raw(self):
+        a = _raw(datetime="2026-02-02")
+        b = _raw(datetime="2030-01-01")
+        report = build_report([a, b])
+        assert report["source_datetime"] == "2026-02-02"
+
+    def test_single_dict_still_accepted(self):
+        report = build_report(_raw(_bench("solo", 1.0)))
+        assert set(report["kernels"]) == {"solo"}

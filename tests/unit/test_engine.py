@@ -1,15 +1,36 @@
-"""Unit tests for the discrete-event engine (repro.simulation.engine)."""
+"""Unit tests for the discrete-event engines (repro.simulation.engine).
+
+Every behavioural test runs against both kernels (binary heap and
+calendar queue) through the ``sim`` fixture; the two must be
+observationally identical.  Kernel-specific internals (lazy compaction,
+horizon rolling) get their own classes.
+"""
 
 import math
 
 import pytest
 
-from repro.simulation.engine import Simulator
+from repro.simulation.engine import (
+    _COMPACT_MIN_PENDING,
+    CalendarSimulator,
+    Simulator,
+    make_simulator,
+)
+
+KERNELS = ["heap", "calendar"]
+
+
+@pytest.fixture(params=KERNELS)
+def sim(request):
+    # A small slot width relative to the test times exercises the
+    # overflow heap and horizon rolling on the calendar variant.
+    if request.param == "calendar":
+        return make_simulator("calendar", slot_width=0.01, n_slots=64)
+    return make_simulator("heap")
 
 
 class TestScheduling:
-    def test_events_fire_in_time_order(self):
-        sim = Simulator()
+    def test_events_fire_in_time_order(self, sim):
         fired = []
         sim.schedule(3.0, lambda: fired.append("c"))
         sim.schedule(1.0, lambda: fired.append("a"))
@@ -17,31 +38,27 @@ class TestScheduling:
         sim.run()
         assert fired == ["a", "b", "c"]
 
-    def test_ties_break_by_insertion_order(self):
-        sim = Simulator()
+    def test_ties_break_by_insertion_order(self, sim):
         fired = []
         for name in "abcde":
             sim.schedule(1.0, lambda n=name: fired.append(n))
         sim.run()
         assert fired == list("abcde")
 
-    def test_clock_advances_to_event_time(self):
-        sim = Simulator()
+    def test_clock_advances_to_event_time(self, sim):
         seen = []
         sim.schedule(2.5, lambda: seen.append(sim.now))
         sim.run()
         assert seen == [2.5]
         assert sim.now == 2.5
 
-    def test_schedule_at_absolute(self):
-        sim = Simulator()
+    def test_schedule_at_absolute(self, sim):
         fired = []
         sim.schedule_at(5.0, lambda: fired.append(sim.now))
         sim.run()
         assert fired == [5.0]
 
-    def test_nested_scheduling(self):
-        sim = Simulator()
+    def test_nested_scheduling(self, sim):
         fired = []
 
         def first():
@@ -52,15 +69,13 @@ class TestScheduling:
         sim.run()
         assert fired == [("first", 1.0), ("second", 2.0)]
 
-    def test_rejects_negative_delay(self):
-        sim = Simulator()
+    def test_rejects_negative_delay(self, sim):
         with pytest.raises(ValueError):
             sim.schedule(-1.0, lambda: None)
         with pytest.raises(ValueError):
             sim.schedule(math.inf, lambda: None)
 
-    def test_rejects_past_absolute_time(self):
-        sim = Simulator()
+    def test_rejects_past_absolute_time(self, sim):
         sim.schedule(1.0, lambda: None)
         sim.run()
         with pytest.raises(ValueError):
@@ -68,8 +83,7 @@ class TestScheduling:
 
 
 class TestCancellation:
-    def test_cancelled_event_skipped(self):
-        sim = Simulator()
+    def test_cancelled_event_skipped(self, sim):
         fired = []
         handle = sim.schedule(1.0, lambda: fired.append("x"))
         handle.cancel()
@@ -77,10 +91,68 @@ class TestCancellation:
         assert fired == []
         assert sim.events_processed == 0
 
+    def test_double_cancel_is_idempotent(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+        assert sim.events_processed == 0
+
+
+class TestCompaction:
+    """Cancelling most of the queue must shrink it, not leak (satellite:
+    heap-leak fix)."""
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_mass_cancellation_compacts_queue(self, kernel):
+        sim = make_simulator(kernel, slot_width=0.5, n_slots=32)
+        n = 4 * _COMPACT_MIN_PENDING
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(n)]
+        assert sim.pending == n
+        # Cancel ~75% of the events: compaction should trigger once the
+        # cancelled fraction crosses one half, so the store must not
+        # retain all the dead entries.
+        survivors = []
+        for i, h in enumerate(handles):
+            if i % 4 == 0:
+                survivors.append(h)
+            else:
+                h.cancel()
+        assert sim.pending < n // 2
+        assert sim.pending >= len(survivors)
+        sim.run()
+        assert sim.events_processed == len(survivors)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_small_queues_skip_compaction(self, kernel):
+        sim = make_simulator(kernel, slot_width=0.5, n_slots=32)
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(8)]
+        for h in handles:
+            h.cancel()
+        # Below _COMPACT_MIN_PENDING nothing compacts eagerly; the pops
+        # still skip every cancelled event.
+        sim.run()
+        assert sim.events_processed == 0
+        assert sim.pending == 0
+
+    def test_compaction_preserves_order_and_results(self):
+        for kernel in KERNELS:
+            sim = make_simulator(kernel, slot_width=0.25, n_slots=16)
+            fired = []
+            n = 4 * _COMPACT_MIN_PENDING
+            handles = [
+                sim.schedule(float(i + 1) * 0.125, lambda i=i: fired.append(i))
+                for i in range(n)
+            ]
+            for i, h in enumerate(handles):
+                if i % 3:
+                    h.cancel()
+            sim.run()
+            assert fired == [i for i in range(n) if i % 3 == 0]
+
 
 class TestRunControl:
-    def test_run_until_stops_before_later_events(self):
-        sim = Simulator()
+    def test_run_until_stops_before_later_events(self, sim):
         fired = []
         sim.schedule(1.0, lambda: fired.append(1))
         sim.schedule(5.0, lambda: fired.append(5))
@@ -90,42 +162,107 @@ class TestRunControl:
         sim.run()
         assert fired == [1, 5]
 
-    def test_max_events_cap(self):
-        sim = Simulator()
+    def test_max_events_cap(self, sim):
         fired = []
         for i in range(10):
             sim.schedule(float(i + 1), lambda i=i: fired.append(i))
         sim.run(max_events=3)
         assert fired == [0, 1, 2]
 
-    def test_schedule_every_respects_until(self):
-        sim = Simulator()
+    def test_schedule_every_respects_until(self, sim):
         ticks = []
         sim.schedule_every(1.0, lambda: ticks.append(sim.now), until=3.5)
         sim.run()
         assert ticks == [1.0, 2.0, 3.0]
 
-    def test_schedule_every_rejects_nonpositive(self):
+    def test_schedule_every_rejects_nonpositive(self, sim):
         with pytest.raises(ValueError):
-            Simulator().schedule_every(0.0, lambda: None)
+            sim.schedule_every(0.0, lambda: None)
 
-    def test_reset(self):
-        sim = Simulator()
+    def test_reset(self, sim):
         sim.schedule(1.0, lambda: None)
         sim.run()
         sim.reset()
         assert sim.now == 0.0
         assert sim.pending == 0
         assert sim.events_processed == 0
+        # The kernel stays usable after a reset.
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.0]
 
-    def test_determinism(self):
-        def run_once():
-            sim = Simulator()
+    def test_determinism(self, sim):
+        def run_once(s):
             out = []
-            sim.schedule_every(0.3, lambda: out.append(round(sim.now, 9)),
-                               until=2.0)
-            sim.schedule(0.9, lambda: out.append("mark"))
-            sim.run()
+            s.schedule_every(0.3, lambda: out.append(round(s.now, 9)),
+                             until=2.0)
+            s.schedule(0.9, lambda: out.append("mark"))
+            s.run()
             return out
 
-        assert run_once() == run_once()
+        first = run_once(sim)
+        sim.reset()
+        assert run_once(sim) == first
+
+
+class TestCalendarKernel:
+    def test_far_events_cross_the_horizon(self):
+        # horizon = 4 * 0.5 = 2 s; events at 10 s start in the overflow
+        # heap and must still fire in exact order.
+        sim = CalendarSimulator(slot_width=0.5, n_slots=4)
+        fired = []
+        sim.schedule(10.0, lambda: fired.append("far"))
+        sim.schedule(0.25, lambda: fired.append("near"))
+        sim.schedule(25.0, lambda: fired.append("farther"))
+        sim.run()
+        assert fired == ["near", "far", "farther"]
+        assert sim.now == 25.0
+
+    def test_matches_heap_kernel_on_mixed_workload(self):
+        def run_once(s):
+            out = []
+            s.schedule_every(0.017, lambda: out.append(round(s.now, 12)),
+                             until=1.0)
+            for k in range(40):
+                s.schedule(0.013 * (k + 1) + 3.0,
+                           lambda k=k: out.append(("late", k)))
+            handles = [s.schedule(0.5 + 0.001 * k, lambda k=k: out.append(k))
+                       for k in range(20)]
+            for h in handles[::2]:
+                h.cancel()
+            s.run()
+            return out
+
+        heap_out = run_once(make_simulator("heap"))
+        cal_out = run_once(make_simulator("calendar", slot_width=0.01,
+                                          n_slots=16))
+        assert cal_out == heap_out
+
+    def test_slot_edge_times_do_not_crash(self):
+        sim = CalendarSimulator(slot_width=0.1, n_slots=10)
+        fired = []
+        # Exactly at the horizon end and exactly on bucket boundaries.
+        for t in (0.0, 0.1, 0.999999999999, 1.0, 1.0000000001):
+            sim.schedule_at(t, lambda t=t: fired.append(t))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == 5
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CalendarSimulator(slot_width=0.0)
+        with pytest.raises(ValueError):
+            CalendarSimulator(slot_width=math.inf)
+        with pytest.raises(ValueError):
+            CalendarSimulator(n_slots=1)
+
+
+class TestMakeSimulator:
+    def test_builds_each_kernel(self):
+        assert type(make_simulator("heap")) is Simulator
+        assert isinstance(make_simulator("calendar"), CalendarSimulator)
+
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            make_simulator("splay-tree")

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Condense pytest-benchmark JSON into the committed ``BENCH_fluid.json``.
+"""Condense pytest-benchmark JSON into a committed ``BENCH_*.json``.
 
 Usage::
 
@@ -8,16 +8,29 @@ Usage::
     python tools/bench_report.py bench_raw.json -o BENCH_fluid.json \
         [--min-speedup 1.0]
 
+Several raw dumps can be merged into one report (kernel entries from
+later files never clobber earlier ones; duplicate benchmark names keep
+the first occurrence and warn)::
+
+    python tools/bench_report.py fluid_raw.json packet_raw.json \
+        -o BENCH_all.json
+
 The raw pytest-benchmark dump is noisy and machine-heavy; the report
 keeps what the perf trajectory needs:
 
 * per-kernel mean/stddev wall time and, for workloads that tag
-  ``extra_info["trajectory_seconds"]``, the throughput figure
-  **ns per integrated trajectory-second**;
-* per-workload speedups, pairing ``engine="batch"`` against
-  ``engine="reference"`` rows that share ``extra_info["workload"]``.
+  ``extra_info["trajectory_seconds"]`` (fluid integrations) or
+  ``extra_info["simulated_seconds"]`` (packet-level runs), the
+  throughput figures **ns per integrated trajectory-second** / **ns per
+  simulated second**;
+* per-workload speedups, pairing the fast engine (``engine="batch"``
+  for the fluid kernel, ``engine="batched"`` for the packet engine)
+  against ``engine="reference"`` rows that share
+  ``extra_info["workload"]``.  Rows with other engine tags (e.g. the
+  ``heap``/``calendar`` event-kernel microbenches) are reported but
+  never gated.
 
-Exits non-zero when any workload's batch engine is slower than
+Exits non-zero when any workload's fast engine is slower than
 ``--min-speedup`` × the reference, which is how the CI ``bench`` job
 fails on a regression while absorbing shared-runner noise (the
 committed report itself is regenerated on quiet hardware).
@@ -32,6 +45,9 @@ from pathlib import Path
 
 __all__ = ["build_report", "main"]
 
+#: engine tags paired against "reference" for the speedup/gate section
+_FAST_ENGINES = ("batch", "batched")
+
 
 def _kernel_entry(bench: dict) -> dict:
     stats = bench["stats"]
@@ -45,37 +61,50 @@ def _kernel_entry(bench: dict) -> dict:
     traj_seconds = extra.get("trajectory_seconds")
     if traj_seconds:
         entry["ns_per_trajectory_second"] = stats["mean"] / traj_seconds * 1e9
+    sim_seconds = extra.get("simulated_seconds")
+    if sim_seconds:
+        entry["ns_per_simulated_second"] = stats["mean"] / sim_seconds * 1e9
     return entry
 
 
-def build_report(raw: dict) -> dict:
-    """Build the condensed report dict from a pytest-benchmark dump."""
+def build_report(raws: dict | list[dict]) -> dict:
+    """Build the condensed report from one or more benchmark dumps."""
+    if isinstance(raws, dict):
+        raws = [raws]
     kernels = {}
     by_workload: dict[str, dict[str, dict]] = {}
-    for bench in raw.get("benchmarks", []):
-        name = bench["name"]
-        entry = _kernel_entry(bench)
-        kernels[name] = entry
-        extra = entry["extra_info"]
-        workload, engine = extra.get("workload"), extra.get("engine")
-        if workload and engine:
-            by_workload.setdefault(workload, {})[engine] = entry
+    for raw in raws:
+        for bench in raw.get("benchmarks", []):
+            name = bench["name"]
+            if name in kernels:
+                print(f"warning: duplicate benchmark {name!r}; "
+                      "keeping the first occurrence", file=sys.stderr)
+                continue
+            entry = _kernel_entry(bench)
+            kernels[name] = entry
+            extra = entry["extra_info"]
+            workload, engine = extra.get("workload"), extra.get("engine")
+            if workload and engine:
+                by_workload.setdefault(workload, {})[engine] = entry
 
     speedups = {}
     for workload, engines in sorted(by_workload.items()):
-        if "batch" in engines and "reference" in engines:
-            batch_s = engines["batch"]["mean_s"]
+        fast_key = next((k for k in _FAST_ENGINES if k in engines), None)
+        if fast_key and "reference" in engines:
+            fast_s = engines[fast_key]["mean_s"]
             reference_s = engines["reference"]["mean_s"]
             speedups[workload] = {
-                "batch_s": batch_s,
+                "batch_s": fast_s,
+                "fast_engine": fast_key,
                 "reference_s": reference_s,
-                "speedup": reference_s / batch_s,
+                "speedup": reference_s / fast_s,
             }
 
-    machine = raw.get("machine_info", {})
+    first = raws[0] if raws else {}
+    machine = first.get("machine_info", {})
     return {
         "generated_by": "tools/bench_report.py",
-        "source_datetime": raw.get("datetime"),
+        "source_datetime": first.get("datetime"),
         "machine": {
             key: machine.get(key)
             for key in ("node", "processor", "machine", "python_version",
@@ -89,16 +118,17 @@ def build_report(raw: dict) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("raw", type=Path,
-                        help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("raw", type=Path, nargs="+",
+                        help="pytest-benchmark --benchmark-json output(s); "
+                             "multiple files merge into one report")
     parser.add_argument("-o", "--output", type=Path,
                         default=Path("BENCH_fluid.json"))
     parser.add_argument("--min-speedup", type=float, default=1.0,
-                        help="fail when any workload's batch/reference "
+                        help="fail when any workload's fast/reference "
                              "speedup drops below this (default: 1.0)")
     args = parser.parse_args(argv)
 
-    report = build_report(json.loads(args.raw.read_text()))
+    report = build_report([json.loads(p.read_text()) for p in args.raw])
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
     failed = False
@@ -107,10 +137,11 @@ def main(argv: list[str] | None = None) -> int:
         if row["speedup"] < args.min_speedup:
             verdict = f"REGRESSION (< {args.min_speedup:g}x)"
             failed = True
-        print(f"{workload}: batch {row['batch_s']:.4f}s vs reference "
-              f"{row['reference_s']:.4f}s -> {row['speedup']:.2f}x {verdict}")
+        print(f"{workload}: {row['fast_engine']} {row['batch_s']:.4f}s vs "
+              f"reference {row['reference_s']:.4f}s -> "
+              f"{row['speedup']:.2f}x {verdict}")
     if not report["speedups"]:
-        print("warning: no batch/reference workload pairs found",
+        print("warning: no fast/reference workload pairs found",
               file=sys.stderr)
     print(f"wrote {args.output}")
     return 1 if failed else 0
