@@ -14,7 +14,10 @@ Paired workloads, each run with ``engine="reference"`` and
 Every test tags ``benchmark.extra_info`` with ``workload``/``engine``
 and the ``simulated_seconds`` horizon; ``tools/bench_report.py`` pairs
 the engines per workload, computes ns per simulated second and the
-speedup, and fails below ``--min-speedup``.
+speedup, and fails below ``--min-speedup``.  The batched tests rerun
+their workload once under an :class:`~repro.obs.Observability` handle
+(outside the timed region) and tag ``extra_info["event_counts"]`` so
+the committed report also records what each workload *did*.
 
 An unpaired microbench times the calendar-queue event kernel against
 the binary heap on a pure schedule/fire storm (tagged
@@ -25,6 +28,7 @@ only consumer).
 
 from repro.core.parameters import paper_example_params
 from repro.experiments.v2_fluid_vs_packet import validation_params
+from repro.obs import Observability
 from repro.simulation.engine import make_simulator
 from repro.simulation.network import BCNNetworkSimulator
 
@@ -42,14 +46,21 @@ V2_KWARGS = dict(
 )
 
 
-def _run_v2(engine):
-    net = BCNNetworkSimulator(validation_params(), engine=engine, **V2_KWARGS)
+def _run_v2(engine, obs=None):
+    net = BCNNetworkSimulator(validation_params(), engine=engine, obs=obs,
+                              **V2_KWARGS)
     return net.run(V2_DURATION)
 
 
-def _run_message(engine):
-    net = BCNNetworkSimulator(paper_example_params(), engine=engine)
+def _run_message(engine, obs=None):
+    net = BCNNetworkSimulator(paper_example_params(), engine=engine, obs=obs)
     return net.run(MSG_DURATION)
+
+
+def _event_counts(run, engine):
+    obs = Observability()
+    run(engine, obs)
+    return obs.event_counts()
 
 
 def test_bench_dumbbell_fluid_vs_packet_batched(benchmark):
@@ -57,7 +68,8 @@ def test_bench_dumbbell_fluid_vs_packet_batched(benchmark):
                              rounds=3, iterations=1)
     benchmark.extra_info.update(
         workload="dumbbell_fluid_vs_packet", engine="batched",
-        simulated_seconds=V2_DURATION)
+        simulated_seconds=V2_DURATION,
+        event_counts=_event_counts(_run_v2, "batched"))
     assert res.forwarded_frames > 0
     assert 0.9 <= res.utilization() <= 1.0 + 1e-9
 
@@ -76,7 +88,8 @@ def test_bench_dumbbell_message_mode_batched(benchmark):
                              rounds=3, iterations=1)
     benchmark.extra_info.update(
         workload="dumbbell_message_mode", engine="batched",
-        simulated_seconds=MSG_DURATION)
+        simulated_seconds=MSG_DURATION,
+        event_counts=_event_counts(_run_message, "batched"))
     assert res.bcn_negative > 0
 
 

@@ -15,6 +15,12 @@ Commands
 ``experiments``
     Run the paper-reproduction experiments (same as
     ``python -m repro.experiments``).
+``trace``
+    Run one scenario on any of the four engines with observability on
+    and export the structured JSONL event trace (region switches, BCN
+    messages, PAUSE on/off, drops, buffer pinning, convergence).
+``profile``
+    Same run, reporting the span profile and metric registry instead.
 
 Examples
 --------
@@ -133,6 +139,64 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: CLI engine names -> (family, engine argument used by the code).
+OBS_ENGINES = {
+    "packet-reference": ("packet", "reference"),
+    "packet-batched": ("packet", "batched"),
+    "fluid-reference": ("fluid", "reference"),
+    "fluid-batch": ("fluid", "batch"),
+}
+
+
+def _run_observed(args: argparse.Namespace):
+    """Run the scenario selected by ``args`` under an obs handle."""
+    from .obs import Observability
+
+    params = _params_from(args)
+    family, engine = OBS_ENGINES[args.engine]
+    obs = Observability()
+    if family == "fluid":
+        from .fluid.batch import simulate_fluid_batch
+        from .fluid.integrate import simulate_fluid
+
+        p = params.normalized()
+        if engine == "reference":
+            simulate_fluid(p, t_max=args.duration, mode=args.fluid_mode,
+                           obs=obs)
+        else:
+            simulate_fluid_batch(p, -p.q0, 0.0, t_max=args.duration,
+                                 mode=args.fluid_mode, obs=obs)
+    else:
+        net = BCNNetworkSimulator(params, regulator_mode=args.mode,
+                                  engine=engine, obs=obs)
+        net.run(args.duration)
+    return obs
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    obs = _run_observed(args)
+    path = obs.write_trace(
+        args.out,
+        meta={"engine": args.engine, "duration": args.duration},
+    )
+    counts = obs.event_counts()
+    print(format_table(
+        ["event kind", "count"],
+        [[kind, counts[kind]] for kind in sorted(counts)],
+    ))
+    print(obs.summary())
+    print(f"trace written to {path}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    obs = _run_observed(args)
+    print(obs.profiler.summary_table())
+    print()
+    print(obs.metrics.summary_table())
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.__main__ import main as experiments_main
 
@@ -187,6 +251,32 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["message", "fluid-euler", "fluid-exact"])
     p_sim.add_argument("--plot", action="store_true")
     p_sim.set_defaults(func=_cmd_simulate)
+
+    def _add_obs_args(p: argparse.ArgumentParser) -> None:
+        _add_param_args(p)
+        p.add_argument("--duration", type=float, default=0.05,
+                       help="simulated horizon in seconds")
+        p.add_argument("--engine", default="packet-reference",
+                       choices=sorted(OBS_ENGINES),
+                       help="which of the four engines to run")
+        p.add_argument("--mode", default="message",
+                       choices=["message", "fluid-euler", "fluid-exact"],
+                       help="regulator mode (packet engines)")
+        p.add_argument("--fluid-mode", default="nonlinear",
+                       choices=["linearized", "nonlinear", "physical"],
+                       help="fluid fidelity mode (fluid engines)")
+
+    p_trace = sub.add_parser(
+        "trace", help="run one scenario and export the JSONL event trace")
+    _add_obs_args(p_trace)
+    p_trace.add_argument("--out", default="trace.jsonl",
+                         help="output JSONL path")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_prof = sub.add_parser(
+        "profile", help="run one scenario and report spans + metrics")
+    _add_obs_args(p_prof)
+    p_prof.set_defaults(func=_cmd_profile)
 
     p_exp = sub.add_parser("experiments", help="run paper reproductions")
     p_exp.add_argument("ids", nargs="*")

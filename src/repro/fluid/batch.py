@@ -45,7 +45,8 @@ from typing import Callable, Literal
 import numpy as np
 
 from ..core.parameters import BCNParams, NormalizedParams
-from .integrate import _CONVERGENCE_RTOL, FluidEvent, FluidTrajectory
+from .integrate import (_CONVERGENCE_RTOL, FluidEvent, FluidTrajectory,
+                        record_fluid_obs)
 from .model import as_normalized
 
 __all__ = [
@@ -576,6 +577,7 @@ def simulate_fluid_batch(
     dt: float | None = None,
     dt_scale: float = 0.02,
     convergence_rtol: float = _CONVERGENCE_RTOL,
+    obs=None,
 ) -> BatchFluidResult:
     """Integrate M trajectories of the switched BCN fluid model at once.
 
@@ -583,6 +585,9 @@ def simulate_fluid_batch(
     ``x0`` and ``y0`` are broadcast to the ensemble shape ``(M,)``.
     ``dt`` fixes the RK4 step directly; otherwise it is derived from the
     fastest natural rate via :func:`default_time_step` with ``dt_scale``.
+    ``obs`` (an :class:`repro.obs.Observability` handle) reports a
+    ``fluid.batch.kernel`` span and per-row events under
+    ``engine="fluid.batch"`` with the row index attached.
 
     Per-row semantics match the reference integrator: convergence is
     checked at the start and after each switching crossing (not
@@ -662,6 +667,16 @@ def simulate_fluid_batch(
 
     for evs in st.events:
         evs.sort(key=lambda e: e.time)
+    if obs is not None and obs.enabled:
+        obs.add_span("fluid.batch.kernel", kernel_seconds)
+        t_used = t_grid[: last + 1]
+        for row in range(m):
+            # Frozen rows repeat their end state on the tail of the grid;
+            # only genuine samples feed the histograms.
+            live = t_used <= st.t_end[row]
+            record_fluid_obs(obs, "fluid.batch", p, st.events[row],
+                             bool(st.reason[row] == 1), float(st.t_end[row]),
+                             xs[: last + 1][live, row], row=row)
     return BatchFluidResult(
         params=p,
         mode=mode,

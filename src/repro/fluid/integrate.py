@@ -24,6 +24,7 @@ Every run records switching events, local extrema of ``x`` (where
 from __future__ import annotations
 
 import math
+import time as _time
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Literal
@@ -43,6 +44,33 @@ from .model import (
 )
 
 __all__ = ["FluidEvent", "FluidTrajectory", "simulate_fluid", "solver_limits"]
+
+#: FluidEvent.kind -> shared obs event vocabulary (repro.obs.trace).
+_OBS_KIND = {
+    "switch": "region_switch",
+    "extremum": "extremum",
+    "buffer_full": "buffer_full",
+    "buffer_empty": "buffer_empty",
+}
+
+
+def record_fluid_obs(obs, engine: str, p: NormalizedParams,
+                     events, converged: bool, t_end: float,
+                     x_samples: np.ndarray, *, row: int | None = None) -> None:
+    """Emit one fluid trajectory's events and queue histograms on ``obs``.
+
+    Shared between the reference integrator and the batch kernel so both
+    produce the identical event vocabulary (the conformance contract).
+    """
+    if obs is None or not obs.enabled:
+        return
+    for event in events:
+        obs.event(_OBS_KIND[event.kind], event.time, engine=engine, row=row,
+                  value=event.x)
+    if converged:
+        obs.event("converged", t_end, engine=engine, row=row)
+    obs.observe_queue(engine, p.q0 + np.asarray(x_samples, dtype=float),
+                      p.buffer_size, p.q0)
 
 Mode = Literal["linearized", "nonlinear", "physical"]
 
@@ -190,6 +218,7 @@ def simulate_fluid(
     atol: float | None = None,
     max_step: float | None = None,
     convergence_rtol: float = _CONVERGENCE_RTOL,
+    obs=None,
 ) -> FluidTrajectory:
     """Integrate the switched BCN fluid model.
 
@@ -210,7 +239,13 @@ def simulate_fluid(
         `solve_ivp` tolerances; ``atol`` defaults to scale with
         ``(q0, C)``, ``max_step`` to a fraction of the fastest natural
         period so events cannot be stepped over.
+    obs:
+        Optional :class:`repro.obs.Observability` handle; when given,
+        the run reports a ``fluid.reference.simulate`` span, emits the
+        trajectory's events under ``engine="fluid.reference"`` and
+        fills the normalised queue histograms.
     """
+    wall_start = _time.monotonic() if obs is not None else 0.0
     p = as_normalized(params)
     if x0 is None:
         x0 = -p.q0
@@ -356,6 +391,11 @@ def simulate_fluid(
     x_arr = np.concatenate(xs) if xs else np.array([x0])
     y_arr = np.concatenate(ys) if ys else np.array([y0])
     events.sort(key=lambda e: e.time)
+    if obs is not None:
+        obs.add_span("fluid.reference.simulate",
+                     _time.monotonic() - wall_start)
+        record_fluid_obs(obs, "fluid.reference", p, events, converged,
+                         float(t_arr[-1]), x_arr)
     return FluidTrajectory(
         params=p,
         mode=mode,

@@ -1,0 +1,48 @@
+"""Unified observability: metrics registry, profiling spans, trace export.
+
+One :class:`Observability` handle instruments all four engines (the
+reference and batch fluid integrators, the reference and batched packet
+engines) and the parallel runner.  See ``EXPERIMENTS.md`` for a usage
+guide and ``repro trace`` / ``repro profile`` for the CLI surface.
+"""
+
+from .handle import Observability, emit_sign_switches
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    POINT_WALL_EDGES,
+    QUEUE_FRAC_EDGES,
+    SOJOURN_REL_EDGES,
+)
+from .profile import PointTiming, SpanProfiler, SpanStats
+from .trace import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    TraceRecord,
+    TraceSink,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [
+    "Observability",
+    "emit_sign_switches",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QUEUE_FRAC_EDGES",
+    "SOJOURN_REL_EDGES",
+    "POINT_WALL_EDGES",
+    "PointTiming",
+    "SpanProfiler",
+    "SpanStats",
+    "EVENT_KINDS",
+    "SCHEMA_VERSION",
+    "TraceRecord",
+    "TraceSink",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,176 @@
+"""The :class:`Observability` handle — one object threaded everywhere.
+
+Engines and the runner accept an optional ``obs`` argument.  ``None``
+(the default) keeps hot paths on a single ``if obs is not None`` check;
+:meth:`Observability.disabled` builds a handle that accepts every call
+as a cheap no-op — useful for measuring the instrumentation overhead
+itself; ``Observability()`` records everything.
+
+Event emission does double duty: every :meth:`event` call bumps the
+``events.<kind>`` counter in the metrics registry (exact even when the
+trace sink truncates) and appends a :class:`TraceRecord` to the sink.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .metrics import (MetricsRegistry, QUEUE_FRAC_EDGES, SOJOURN_REL_EDGES)
+from .profile import SpanProfiler
+from .trace import EVENT_KINDS, SCHEMA_VERSION, TraceRecord, TraceSink, write_trace
+
+__all__ = ["Observability", "emit_sign_switches"]
+
+
+class Observability:
+    """Bundle of metrics registry, span profiler and trace sink."""
+
+    __slots__ = ("enabled", "metrics", "profiler", "trace")
+
+    def __init__(self, *, enabled: bool = True,
+                 max_trace_events: int | None = 200_000) -> None:
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.profiler = SpanProfiler(enabled=enabled)
+        self.trace = TraceSink(max_records=max_trace_events)
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """A handle that swallows every call with minimal work."""
+        return cls(enabled=False, max_trace_events=0)
+
+    # -- events -------------------------------------------------------------
+
+    def event(self, kind: str, t: float, *, engine: str = "",
+              node: str | None = None, row: int | None = None,
+              flow: int | None = None, value: float | None = None,
+              detail: str = "") -> None:
+        """Record one structured event (counter + trace record)."""
+        if not self.enabled:
+            return
+        assert kind in EVENT_KINDS, f"unknown event kind {kind!r}"
+        self.metrics.inc(f"events.{kind}")
+        self.trace.append(TraceRecord(
+            kind=kind, t=float(t), engine=engine, node=node, row=row,
+            flow=flow, value=value, detail=detail,
+        ))
+
+    def event_counts(self, engine: str | None = None) -> dict[str, int]:
+        """Per-kind event totals.
+
+        With ``engine=None`` the exact counter totals are returned;
+        with an engine filter the (possibly truncated) trace is
+        consulted instead.
+        """
+        if engine is None:
+            return {
+                name.split(".", 1)[1]: int(c.value)
+                for name, c in sorted(self.metrics.counters.items())
+                if name.startswith("events.")
+            }
+        out: dict[str, int] = {}
+        for r in self.trace.records:
+            if r.engine == engine:
+                out[r.kind] = out.get(r.kind, 0) + 1
+        return out
+
+    # -- metrics ------------------------------------------------------------
+
+    def count(self, name: str, n: float = 1.0) -> None:
+        if self.enabled:
+            self.metrics.inc(name, n)
+
+    def gauge(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value: float, edges) -> None:
+        if self.enabled:
+            self.metrics.observe(name, value, edges)
+
+    def observe_array(self, name: str, values, edges) -> None:
+        if self.enabled:
+            self.metrics.observe_many(name, values, edges)
+
+    def observe_queue(self, engine: str, q_bits, buffer_bits: float,
+                      q0_bits: float) -> None:
+        """Record normalised queue occupancy + sojourn histograms."""
+        if not self.enabled:
+            return
+        q = np.asarray(q_bits, dtype=float).ravel()
+        if q.size == 0:
+            return
+        if buffer_bits > 0:
+            self.metrics.observe_many(f"queue_frac.{engine}",
+                                      q / buffer_bits, QUEUE_FRAC_EDGES)
+        if q0_bits > 0:
+            self.metrics.observe_many(f"sojourn_rel.{engine}",
+                                      q / q0_bits, SOJOURN_REL_EDGES)
+
+    # -- profiling ----------------------------------------------------------
+
+    def span(self, name: str):
+        return self.profiler.span(name)
+
+    def add_span(self, name: str, seconds: float) -> None:
+        self.profiler.add(name, seconds)
+
+    # -- worker merge -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable snapshot (metrics + spans) for cross-process merge."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "spans": self.profiler.snapshot(),
+        }
+
+    def merge_metrics(self, snap: dict) -> None:
+        """Fold a worker :meth:`snapshot` into this handle."""
+        if not self.enabled:
+            return
+        self.metrics.merge_snapshot(snap.get("metrics", {}))
+        self.profiler.merge_snapshot(snap.get("spans", {}))
+
+    # -- export -------------------------------------------------------------
+
+    def write_trace(self, path, *, meta: dict | None = None):
+        """Dump the trace sink as a schema-versioned JSONL file."""
+        full_meta = {"events_truncated": self.trace.truncated}
+        if meta:
+            full_meta.update(meta)
+        return write_trace(path, self.trace.sorted_records(), meta=full_meta)
+
+    def summary(self) -> str:
+        counts = self.event_counts()
+        parts = [f"{kind}={counts[kind]}" for kind in sorted(counts)]
+        return (f"obs[schema v{SCHEMA_VERSION}]: "
+                f"{sum(counts.values())} events ({', '.join(parts)})")
+
+
+def emit_sign_switches(obs: Observability | None, times, values, *,
+                       engine: str, node: str | None = None,
+                       kind: str = "region_switch") -> int:
+    """Emit one event per sign change of ``values`` along ``times``.
+
+    Used to derive region-switch events from a sampled ``sigma``
+    history (packet engines) where the control law is only evaluated at
+    sample instants.  Zero samples inherit the previous sign so a
+    grazing touch does not double-count.  Returns the number of events
+    emitted (0 when ``obs`` is None/disabled).
+    """
+    if obs is None or not obs.enabled:
+        return 0
+    values = np.asarray(values, dtype=float)
+    times = np.asarray(times, dtype=float)
+    if values.size < 2:
+        return 0
+    signs = np.sign(values)
+    # Carry the previous sign through exact zeros.
+    for i in range(signs.size):
+        if signs[i] == 0:
+            signs[i] = signs[i - 1] if i else 0.0
+    flips = np.nonzero(signs[1:] * signs[:-1] < 0)[0]
+    for i in flips:
+        obs.event(kind, times[i + 1], engine=engine, node=node,
+                  value=float(values[i + 1]))
+    return int(flips.size)

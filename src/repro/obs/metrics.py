@@ -1,0 +1,244 @@
+"""Lightweight metrics primitives: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named metrics that all
+engines and the runner write into through one
+:class:`~repro.obs.handle.Observability` handle.  The design constraints
+come from the parallel runner and the conformance suite:
+
+* **mergeable** — a worker process snapshots its registry
+  (:meth:`MetricsRegistry.snapshot`, a plain picklable dict) and the
+  parent folds it in (:meth:`MetricsRegistry.merge_snapshot`).  Counter
+  and histogram merges are commutative and associative (integer bucket
+  counts; float sums commute up to round-off), so the fold order —
+  whichever order pool futures complete in — cannot change the result.
+* **fixed buckets** — histograms carry explicit, immutable bucket edges
+  chosen at creation; two histograms merge only when their edges are
+  identical.  The canonical queue histograms use *normalised* values
+  (occupancy as a fraction of the buffer, sojourn relative to the
+  reference sojourn ``q0/C``) so every engine and parameter point shares
+  one bucket layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..viz.series import format_table
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QUEUE_FRAC_EDGES",
+    "SOJOURN_REL_EDGES",
+    "POINT_WALL_EDGES",
+]
+
+#: Queue occupancy as a fraction of the physical buffer: 16 uniform
+#: buckets on [0, 1] plus under/overflow (overflow = recorder values
+#: above ``B``, which only numerical slop can produce).
+QUEUE_FRAC_EDGES: tuple[float, ...] = tuple(np.linspace(0.0, 1.0, 17))
+
+#: Sojourn time relative to the reference sojourn ``q0 / C`` (i.e.
+#: ``q / q0``): 16 uniform buckets on [0, 4] plus under/overflow.
+SOJOURN_REL_EDGES: tuple[float, ...] = tuple(np.linspace(0.0, 4.0, 17))
+
+#: Per-point runner wall time in seconds, roughly log-spaced.
+POINT_WALL_EDGES: tuple[float, ...] = (
+    0.0, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0,
+)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing sum (float so it can carry seconds)."""
+
+    value: float = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def merge(self, other: "Counter | float") -> None:
+        self.value += other.value if isinstance(other, Counter) else float(other)
+
+
+@dataclass
+class Gauge:
+    """A last-written value (not commutatively mergeable; merges keep
+    the larger update count's value, ties prefer ``self``)."""
+
+    value: float = 0.0
+    updates: int = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+    def merge(self, other: "Gauge | tuple") -> None:
+        if not isinstance(other, Gauge):
+            other = Gauge(*other)
+        if other.updates > self.updates:
+            self.value = other.value
+        self.updates += other.updates
+
+
+class Histogram:
+    """Fixed-bucket histogram with explicit under/overflow buckets.
+
+    ``counts`` has ``len(edges) + 1`` slots: ``counts[0]`` holds values
+    below ``edges[0]``, ``counts[i]`` values in ``[edges[i-1],
+    edges[i])``, and ``counts[-1]`` values at or above ``edges[-1]``.
+    Bucket counts are integers, so merging histograms is exactly
+    associative and commutative; the tracked ``sum`` commutes up to
+    float round-off.
+    """
+
+    __slots__ = ("edges", "counts", "sum")
+
+    def __init__(self, edges) -> None:
+        edges = tuple(float(e) for e in edges)
+        if len(edges) < 2:
+            raise ValueError("a histogram needs at least two bucket edges")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("bucket edges must be strictly increasing")
+        self.edges = edges
+        self.counts = np.zeros(len(edges) + 1, dtype=np.int64)
+        self.sum = 0.0
+
+    @property
+    def count(self) -> int:
+        """Total number of observed values (all buckets)."""
+        return int(self.counts.sum())
+
+    def mean(self) -> float:
+        n = self.count
+        return self.sum / n if n else 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[int(np.searchsorted(self.edges, value, side="right"))] += 1
+        self.sum += float(value)
+
+    def observe_many(self, values) -> None:
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            return
+        idx = np.searchsorted(self.edges, values, side="right")
+        self.counts += np.bincount(idx, minlength=self.counts.size)
+        self.sum += float(values.sum())
+
+    def merge(self, other: "Histogram") -> None:
+        if tuple(other.edges) != self.edges:
+            raise ValueError(
+                f"cannot merge histograms with different edges: "
+                f"{other.edges!r} vs {self.edges!r}"
+            )
+        self.counts += other.counts
+        self.sum += other.sum
+
+    def snapshot(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "counts": self.counts.tolist(),
+            "sum": self.sum,
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "Histogram":
+        hist = cls(snap["edges"])
+        hist.counts = np.asarray(snap["counts"], dtype=np.int64).copy()
+        hist.sum = float(snap["sum"])
+        return hist
+
+
+@dataclass
+class MetricsRegistry:
+    """A flat, mergeable namespace of counters, gauges and histograms."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    # -- access / recording -------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge()
+        return gauge
+
+    def histogram(self, name: str, edges=None) -> Histogram:
+        hist = self.histograms.get(name)
+        if hist is None:
+            if edges is None:
+                raise KeyError(
+                    f"histogram {name!r} does not exist and no edges were given"
+                )
+            hist = self.histograms[name] = Histogram(edges)
+        elif edges is not None and tuple(float(e) for e in edges) != hist.edges:
+            raise ValueError(f"histogram {name!r} already exists with other edges")
+        return hist
+
+    def inc(self, name: str, n: float = 1.0) -> None:
+        self.counter(name).inc(n)
+
+    def observe(self, name: str, value: float, edges=None) -> None:
+        self.histogram(name, edges).observe(value)
+
+    def observe_many(self, name: str, values, edges=None) -> None:
+        self.histogram(name, edges).observe_many(values)
+
+    # -- snapshots / merging ------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain picklable/JSON-able dict of the whole registry."""
+        return {
+            "counters": {k: c.value for k, c in self.counters.items()},
+            "gauges": {k: [g.value, g.updates] for k, g in self.gauges.items()},
+            "histograms": {k: h.snapshot() for k, h in self.histograms.items()},
+        }
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) in."""
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).merge(value)
+        for name, pair in snap.get("gauges", {}).items():
+            self.gauge(name).merge(tuple(pair))
+        for name, hsnap in snap.get("histograms", {}).items():
+            hist = self.histograms.get(name)
+            if hist is None:
+                self.histograms[name] = Histogram.from_snapshot(hsnap)
+            else:
+                hist.merge(Histogram.from_snapshot(hsnap))
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        self.merge_snapshot(other.snapshot())
+
+    # -- rendering ----------------------------------------------------------
+
+    def counter_values(self, prefix: str = "") -> dict[str, float]:
+        return {
+            name: c.value for name, c in sorted(self.counters.items())
+            if name.startswith(prefix)
+        }
+
+    def summary_rows(self) -> list[list]:
+        rows: list[list] = []
+        for name, counter in sorted(self.counters.items()):
+            rows.append([name, counter.value])
+        for name, gauge in sorted(self.gauges.items()):
+            rows.append([name, gauge.value])
+        for name, hist in sorted(self.histograms.items()):
+            rows.append([f"{name} (n, mean)", f"{hist.count}, {hist.mean():.6g}"])
+        return rows
+
+    def summary_table(self) -> str:
+        return format_table(["metric", "value"], self.summary_rows())

@@ -29,6 +29,7 @@ import time
 from typing import Any, Mapping
 
 from ..experiments.base import ExperimentResult, all_experiments, get_experiment
+from ..obs import Observability
 from .cache import ResultCache
 from .instrumentation import RunnerStats
 from .parallel import resolve_workers
@@ -73,6 +74,7 @@ def run_experiments(
     cache: ResultCache | None = None,
     options: Mapping[str, Any] | None = None,
     stats: RunnerStats | None = None,
+    obs: Observability | None = None,
 ) -> list[tuple[str, ExperimentResult]]:
     """Run experiments by id, in parallel and through the cache.
 
@@ -94,6 +96,10 @@ def run_experiments(
     stats:
         Optional :class:`RunnerStats` to populate (one work unit per
         experiment).
+    obs:
+        Optional :class:`~repro.obs.Observability` handle; recorded
+        work units feed the ``runner.*`` metric family and the whole
+        invocation reports a ``runner.experiments`` span.
     """
     started = time.perf_counter()
     if ids is None:
@@ -104,6 +110,8 @@ def run_experiments(
     stats = stats if stats is not None else RunnerStats()
     stats.workers = max(1, n_workers) if pooled else 1
     stats.cache = cache.stats if cache is not None else None
+    if obs is not None and obs.enabled:
+        stats.obs = obs
 
     per_id_options: dict[str, dict[str, Any]] = {}
     for experiment_id in ids:
@@ -160,4 +168,6 @@ def run_experiments(
                     finish(experiment_id, result, wall)
 
     stats.elapsed = time.perf_counter() - started
+    if stats.obs is not None:
+        stats.obs.add_span("runner.experiments", stats.elapsed)
     return [(experiment_id, results[experiment_id]) for experiment_id in ids]

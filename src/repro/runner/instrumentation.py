@@ -1,39 +1,30 @@
 """Timing and utilisation instrumentation for the parallel runner.
 
 Every unit of work (one sweep grid point, one registered experiment)
-reports a :class:`PointTiming`; a :class:`RunnerStats` aggregates them
-into the numbers a scaling PR cares about — total and per-point wall
-time, cache hit rate, and worker utilisation (the fraction of the
+reports a :class:`PointTiming` (defined in :mod:`repro.obs.profile`,
+re-exported here); a :class:`RunnerStats` aggregates them into the
+numbers a scaling PR cares about — total and per-point wall time, cache
+hit rate, and worker utilisation (the fraction of the
 ``workers x elapsed`` budget actually spent computing).  The aggregate
 renders as a plain-text summary table and as short note lines that the
 experiment framework attaches to ``ExperimentResult.notes``.
+
+When an :class:`~repro.obs.Observability` handle is attached (``obs``
+field), every recorded point also feeds the runner metric family:
+``runner.evaluated`` / ``runner.cache_hit`` counters, the
+``runner.point_wall_seconds`` histogram and the accumulated
+``runner.kernel_seconds``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs import Observability, PointTiming, POINT_WALL_EDGES
 from ..viz.series import format_table
 from .cache import CacheStats
 
 __all__ = ["PointTiming", "RunnerStats"]
-
-
-@dataclass(frozen=True)
-class PointTiming:
-    """Wall-clock record of one executed (or cache-served) work unit.
-
-    ``kernel`` is the portion of ``wall`` the work unit reported as time
-    spent inside its numerical kernel (e.g.
-    ``BatchFluidResult.kernel_seconds``, forwarded by the runner's
-    reserved ``"_kernel_wall"`` record key); the remainder is
-    serialisation, dispatch and bookkeeping overhead.
-    """
-
-    label: str
-    wall: float
-    cached: bool = False
-    kernel: float = 0.0
 
 
 @dataclass
@@ -44,14 +35,28 @@ class RunnerStats:
     elapsed: float = 0.0
     points: list[PointTiming] = field(default_factory=list)
     cache: CacheStats | None = None
+    obs: Observability | None = None
 
     # -- recording ----------------------------------------------------------
 
     def record(self, label: str, wall: float, *, cached: bool = False,
                kernel: float = 0.0) -> None:
+        if cached:
+            # A cache hit runs no kernel: any kernel figure arriving
+            # with one is the stale timing of the original computation
+            # and must not inflate this run's kernel wall.
+            kernel = 0.0
         self.points.append(
             PointTiming(label=label, wall=wall, cached=cached, kernel=kernel)
         )
+        if self.obs is not None:
+            self.obs.count("runner.cache_hit" if cached
+                           else "runner.evaluated")
+            if not cached:
+                self.obs.observe("runner.point_wall_seconds", wall,
+                                 POINT_WALL_EDGES)
+                if kernel:
+                    self.obs.count("runner.kernel_seconds", kernel)
 
     # -- derived quantities -------------------------------------------------
 

@@ -31,6 +31,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..analysis.sweeps import SweepResult, grid
+from ..obs import MetricsRegistry, Observability, POINT_WALL_EDGES
 from .cache import ResultCache
 from .instrumentation import RunnerStats
 
@@ -55,7 +56,8 @@ def _chunked(items: Sequence, chunk_size: int) -> list[list]:
 def _evaluate_chunk(
     evaluate: Callable[[Any], Mapping[str, Any]],
     chunk: list[tuple[int, dict[str, Any], Any]],
-) -> list[tuple[int, dict[str, Any], float, float]]:
+    collect_metrics: bool = False,
+) -> tuple[list[tuple[int, dict[str, Any], float, float]], dict | None]:
     """Worker entry point: evaluate one chunk of (index, overrides, params).
 
     The reserved record key ``"_kernel_wall"`` lets an ``evaluate``
@@ -64,6 +66,12 @@ def _evaluate_chunk(
     here — it never reaches the sweep records or the cache — and
     surfaces as ``PointTiming.kernel``, so sweep summaries can separate
     per-point kernel time from pool dispatch overhead.
+
+    With ``collect_metrics`` the chunk also returns a picklable
+    worker-local :class:`~repro.obs.MetricsRegistry` snapshot
+    (``runner.worker.*`` metrics) for the parent to merge — counter and
+    histogram merges commute, so the completion order of pool futures
+    cannot change the folded totals.
     """
     out: list[tuple[int, dict[str, Any], float, float]] = []
     for index, overrides, params in chunk:
@@ -72,7 +80,15 @@ def _evaluate_chunk(
         record.update(evaluate(params))
         kernel = float(record.pop("_kernel_wall", 0.0))
         out.append((index, record, time.perf_counter() - t0, kernel))
-    return out
+    if not collect_metrics:
+        return out, None
+    registry = MetricsRegistry()
+    registry.inc("runner.worker.points", len(out))
+    registry.inc("runner.worker.kernel_seconds",
+                 sum(kernel for _, _, _, kernel in out))
+    registry.observe_many("runner.worker.point_wall_seconds",
+                          [wall for _, _, wall, _ in out], POINT_WALL_EDGES)
+    return out, registry.snapshot()
 
 
 def _sweep_cache_id(evaluate: Callable, cache_id: str | None) -> str:
@@ -94,19 +110,25 @@ def run_sweep_parallel(
     cache_id: str | None = None,
     skip_invalid: bool = True,
     stats: RunnerStats | None = None,
+    obs: Observability | None = None,
 ) -> SweepResult:
     """Parallel, cached equivalent of :func:`repro.analysis.sweeps.sweep`.
 
     Returns a :class:`SweepResult` whose records are identical (same
     order, same values) to the serial reference path.  ``cache_id``
     names the grid in the cache (default: the qualified name of
-    ``evaluate``); pass ``stats`` to collect timing instrumentation.
+    ``evaluate``); pass ``stats`` to collect timing instrumentation,
+    ``obs`` to additionally collect the ``runner.*`` metric family with
+    per-worker metric snapshots merged on result return.
     """
     started = time.perf_counter()
     n_workers = resolve_workers(workers)
     stats = stats if stats is not None else RunnerStats()
     stats.workers = max(1, n_workers)
     stats.cache = cache.stats if cache is not None else None
+    if obs is not None and obs.enabled:
+        stats.obs = obs
+    collect_metrics = stats.obs is not None
 
     axes_lists = {name: list(values) for name, values in axes.items()}
 
@@ -136,18 +158,25 @@ def run_sweep_parallel(
 
     if pending:
         if n_workers <= 1:
-            computed = _evaluate_chunk(evaluate, pending)
+            computed, snapshot = _evaluate_chunk(evaluate, pending,
+                                                 collect_metrics)
+            if snapshot is not None:
+                stats.obs.merge_metrics({"metrics": snapshot})
         else:
             if chunk_size is None:
                 chunk_size = max(1, math.ceil(len(pending) / (4 * n_workers)))
             computed = []
             with ProcessPoolExecutor(max_workers=n_workers) as pool:
                 futures = [
-                    pool.submit(_evaluate_chunk, evaluate, chunk)
+                    pool.submit(_evaluate_chunk, evaluate, chunk,
+                                collect_metrics)
                     for chunk in _chunked(pending, chunk_size)
                 ]
                 for future in as_completed(futures):
-                    computed.extend(future.result())
+                    chunk_out, snapshot = future.result()
+                    computed.extend(chunk_out)
+                    if snapshot is not None:
+                        stats.obs.merge_metrics({"metrics": snapshot})
         overrides_by_index = {index: overrides for index, overrides, _ in pending}
         for index, record, wall, kernel in computed:
             records_by_index[index] = record
@@ -160,6 +189,8 @@ def run_sweep_parallel(
                 )
 
     stats.elapsed = time.perf_counter() - started
+    if stats.obs is not None:
+        stats.obs.add_span("runner.sweep", stats.elapsed)
     return SweepResult(
         axes=axes_lists,
         records=[records_by_index[index] for index, _, _ in points],

@@ -135,6 +135,7 @@ class MultiHopNetwork:
         queue_sample_interval: float | None = None,
         hop_level_pause: bool = True,
         engine: str = "reference",
+        obs=None,
     ) -> None:
         if not flows:
             raise ValueError("need at least one flow")
@@ -145,6 +146,9 @@ class MultiHopNetwork:
         self.frame_bits = frame_bits
         self.delay = propagation_delay
         self.engine = engine
+        # Set before any port is created: _make_port attaches the handle.
+        self.obs = obs if (obs is not None and obs.enabled) else None
+        self._obs_engine = f"packet.{engine}"
         if engine == "batched":
             fastest = max(
                 (data["capacity"] for _, _, data in graph.edges(data=True)
@@ -216,6 +220,7 @@ class MultiHopNetwork:
             fb_bits=cfg.fb_bits,
         )
         port.forward = lambda frame, _u=u, _v=v: self._forward(frame, _v)
+        port.attach_obs(self.obs, self._obs_engine)
         return port
 
     def _make_source(self, spec: FlowSpec) -> TrafficSource:
@@ -321,6 +326,8 @@ class MultiHopNetwork:
         """Run the fabric for ``duration`` seconds."""
         if duration <= 0:
             raise ValueError("duration must be positive")
+        import time as _time
+        wall_start = _time.monotonic() if self.obs is not None else 0.0
         for spec in self.flows:
             source = self.sources[spec.flow_id]
             self.sim.schedule_at(spec.start_time, source.start)
@@ -328,6 +335,20 @@ class MultiHopNetwork:
         self.sim.schedule_every(self._queue_dt, self._record, until=duration)
         self.sim.run(until=duration)
         self._record()
+
+        if self.obs is not None:
+            from ..obs import emit_sign_switches
+            self.obs.add_span(f"{self._obs_engine}.multihop.run",
+                              _time.monotonic() - wall_start)
+            for edge, port in self.ports.items():
+                hist = port.sigma_history
+                emit_sign_switches(self.obs, [h[0] for h in hist],
+                                   [h[1] for h in hist],
+                                   engine=self._obs_engine, node=port.cpid)
+                self.obs.observe_queue(
+                    self._obs_engine,
+                    np.asarray(self._port_samples[edge], dtype=float),
+                    self.config.buffer_bits, self.config.q0)
 
         return MultiHopResult(
             duration=duration,

@@ -12,6 +12,7 @@ peak queue), ready to be compared against the fluid model.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -187,6 +188,13 @@ class BCNNetworkSimulator:
         expected BCN inter-message time (small enough that the
         compensated regulator lag stays well below the control loop
         period, large enough to amortize the numpy batch overhead).
+    obs:
+        Optional :class:`repro.obs.Observability` handle.  The switch
+        emits ``bcn``/``pause_on``/``pause_off``/``drop`` events live
+        under ``engine="packet.<engine>"``; :meth:`run` adds a
+        ``packet.<engine>.run`` span, derives ``region_switch`` events
+        from the sampled sigma history and fills the normalised queue
+        histograms from the recorder series.
     """
 
     def __init__(
@@ -207,6 +215,7 @@ class BCNNetworkSimulator:
         random_sampling: bool = False,
         engine: str = "reference",
         control_quantum: float | None = None,
+        obs=None,
     ) -> None:
         if engine not in PACKET_ENGINES:
             raise ValueError(
@@ -261,6 +270,8 @@ class BCNNetworkSimulator:
             fb_bits=fb_bits,
             random_sampling=random_sampling,
         )
+        self.obs = obs if (obs is not None and obs.enabled) else None
+        self.switch.attach_obs(self.obs, f"packet.{engine}")
 
         self.sources: list[TrafficSource] = []
         self._delivered_bits = 0.0
@@ -498,6 +509,7 @@ class BCNNetworkSimulator:
         """Run the scenario for ``duration`` seconds of simulated time."""
         if duration <= 0:
             raise ValueError("duration must be positive")
+        wall_start = _time.monotonic() if self.obs is not None else 0.0
         if self.engine == "batched":
             self._run_batched(duration)
         else:
@@ -512,6 +524,20 @@ class BCNNetworkSimulator:
 
         t_q, q = self._queue_samples.arrays()
         t_r, r = self._rate_samples.arrays()
+        if self.obs is not None:
+            from ..obs import emit_sign_switches
+            engine_tag = f"packet.{self.engine}"
+            self.obs.add_span(f"{engine_tag}.run",
+                              _time.monotonic() - wall_start)
+            # The control law is evaluated at sample instants only, so
+            # region membership is known exactly there: a sign change of
+            # the sampled sigma is a region switch in either engine.
+            hist = self.switch.sigma_history
+            emit_sign_switches(self.obs, [h[0] for h in hist],
+                               [h[1] for h in hist], engine=engine_tag,
+                               node=self.switch.cpid)
+            self.obs.observe_queue(engine_tag, q,
+                                   self.params.buffer_size, self.params.q0)
         return SimulationResult(
             t=t_q,
             queue=q,

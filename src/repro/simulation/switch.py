@@ -132,6 +132,11 @@ class CoreSwitch:
             sigma_unit = q0 / float(2 ** (fb_bits - 2))
         self.sigma_unit = sigma_unit
 
+        #: Optional observability handle (set via :meth:`attach_obs`);
+        #: ``None`` keeps the data path at a single attribute check.
+        self.obs = None
+        self.obs_engine = "packet.reference"
+
         self._sample_interval = max(1, round(1.0 / pm))
         self._arrivals_since_sample = 0
         #: The draft samples deterministically (every 1/pm-th frame),
@@ -151,6 +156,15 @@ class CoreSwitch:
         self.sigma_history: list[tuple[float, float]] = []
 
     # -- wiring ---------------------------------------------------------
+
+    def attach_obs(self, obs, engine: str = "packet.reference") -> None:
+        """Attach an :class:`repro.obs.Observability` handle.
+
+        A disabled handle is stored as ``None`` so the per-frame fast
+        path stays one ``is not None`` check.
+        """
+        self.obs = obs if (obs is not None and obs.enabled) else None
+        self.obs_engine = engine
 
     def register_bcn_link(self, source_address: int, link: Link) -> None:
         """Register the backward control link towards a source."""
@@ -178,6 +192,10 @@ class CoreSwitch:
                 self._arrivals_since_sample = 0
 
         accepted = self.queue.offer(frame)
+        if not accepted and self.obs is not None:
+            self.obs.event("drop", self.sim.now, engine=self.obs_engine,
+                           node=self.cpid, flow=frame.flow_id,
+                           value=float(frame.size_bits))
 
         if sampled:
             self._process_sample(frame)
@@ -200,11 +218,18 @@ class CoreSwitch:
         if sigma < 0:
             self._send_bcn(frame.src, sigma, q, dq)
             self.stats.bcn_negative += 1
+            emitted = True
         elif sigma > 0 and (q < self.q0 or not self.positive_only_below_q0) and (
             not self.require_association or frame.rrt_cpid == self.cpid
         ):
             self._send_bcn(frame.src, sigma, q, dq)
             self.stats.bcn_positive += 1
+            emitted = True
+        else:
+            emitted = False
+        if emitted and self.obs is not None:
+            self.obs.event("bcn", self.sim.now, engine=self.obs_engine,
+                           node=self.cpid, flow=frame.src, value=sigma)
 
     def quantize_fb(self, sigma: float) -> float:
         """Map raw sigma (bits) to the wire FB value."""
@@ -241,6 +266,13 @@ class CoreSwitch:
         for link in self._pause_links:
             link.transmit(frame)
         self.stats.pauses_sent += len(self._pause_links)
+        if self.obs is not None:
+            # One on/off pair per excursion; "off" is the re-arm time,
+            # emitted eagerly so both packet engines pair identically.
+            self.obs.event("pause_on", self.sim.now, engine=self.obs_engine,
+                           node=self.cpid, value=self.pause_duration)
+            self.obs.event("pause_off", self.sim.now + self.pause_duration,
+                           engine=self.obs_engine, node=self.cpid)
         self.sim.schedule(self.pause_duration, self._rearm_pause)
 
     def _rearm_pause(self) -> None:
@@ -457,6 +489,13 @@ class BatchedSwitchKernel:
                     pause_at = float(times[cut])
                     self._pause_rearm_at = pause_at + sw.pause_duration
                     sw.stats.pauses_sent += self.pause_fanout
+                    if sw.obs is not None:
+                        sw.obs.event("pause_on", pause_at,
+                                     engine=sw.obs_engine, node=sw.cpid,
+                                     value=sw.pause_duration)
+                        sw.obs.event("pause_off",
+                                     pause_at + sw.pause_duration,
+                                     engine=sw.obs_engine, node=sw.cpid)
                     # commit the crossing arrival, defer the rest
                     m = cut + 1
                     total = n_res + m
@@ -518,6 +557,12 @@ class BatchedSwitchKernel:
         else:
             msg_t = msg_src = msg_fb = msg_sigma = np.empty(0)
             msg_q_off = msg_dq = np.empty(0)
+
+        if sw.obs is not None and msg_t.size:
+            for mt, msrc, msig in zip(msg_t.tolist(), msg_src.tolist(),
+                                      msg_sigma.tolist()):
+                sw.obs.event("bcn", mt, engine=sw.obs_engine, node=sw.cpid,
+                             flow=int(msrc), value=msig)
 
         # -- service accounting & state roll-forward -----------------------
         delivered = int(np.searchsorted(completions, t_commit, side="right"))
@@ -618,12 +663,17 @@ class BatchedSwitchKernel:
                 sw.queue.dropped_frames += 1
                 sw.queue.dropped_bits += L
                 q_now = occ
+                if sw.obs is not None:
+                    sw.obs.event("drop", a, engine=sw.obs_engine,
+                                 node=sw.cpid, flow=int(srcs[j]),
+                                 value=float(L))
             if sampled:
                 dq = q_now - sw._q_at_last_sample
                 sw._q_at_last_sample = q_now
                 sigma = (sw.q0 - q_now) - sw.w * dq
                 sw.stats.samples += 1
                 sw.sigma_history.append((a, sigma))
+                n_rows_before = len(msg_rows)
                 if sigma < 0:
                     sw.stats.bcn_negative += 1
                     msg_rows.append((a, int(srcs[j]), sigma,
@@ -634,11 +684,19 @@ class BatchedSwitchKernel:
                     sw.stats.bcn_positive += 1
                     msg_rows.append((a, int(srcs[j]), sigma,
                                      sw.q0 - q_now, dq, sw.quantize_fb(sigma)))
+                if sw.obs is not None and len(msg_rows) > n_rows_before:
+                    sw.obs.event("bcn", a, engine=sw.obs_engine,
+                                 node=sw.cpid, flow=int(srcs[j]), value=sigma)
             if (sw.q_sc is not None and q_now > sw.q_sc
                     and a >= self._pause_rearm_at):
                 pause_at = a
                 self._pause_rearm_at = a + sw.pause_duration
                 sw.stats.pauses_sent += self.pause_fanout
+                if sw.obs is not None:
+                    sw.obs.event("pause_on", a, engine=sw.obs_engine,
+                                 node=sw.cpid, value=sw.pause_duration)
+                    sw.obs.event("pause_off", a + sw.pause_duration,
+                                 engine=sw.obs_engine, node=sw.cpid)
                 t_commit = a
                 break
 

@@ -2,25 +2,39 @@
 
 A :class:`FrameTracer` hooks into switch forward paths and control
 links, recording typed events (arrival, departure, drop, bcn, pause)
-into an in-memory log that can be filtered, summarised, or written out
-as a text trace — the pcap stand-in for this simulator.
+— the pcap stand-in for this simulator.
+
+Storage and export are delegated to the unified observability layer
+(:mod:`repro.obs`): every event lands in an
+:class:`~repro.obs.Observability` handle as a structured
+:class:`~repro.obs.TraceRecord` (and bumps the ``events.*`` counters),
+so a tracer-collected run can be exported as the same schema-versioned
+JSONL as any engine trace.  Pass your own handle via ``obs=`` to merge
+tracer events into a wider collection; otherwise the tracer owns one.
+:class:`TraceEvent` remains the lightweight per-event view this
+module's query/dump API returns.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable
 
+from ..obs import Observability, TraceRecord
 from .frames import BCNMessage, EthernetFrame, PauseFrame
 from .switch import CoreSwitch
 
 __all__ = ["TraceEvent", "FrameTracer"]
 
+#: Tracer view kind -> unified obs vocabulary.  The tracer's single
+#: "pause" kind maps onto the excursion-start event.
+_TO_OBS_KIND = {"pause": "pause_on"}
+_FROM_OBS_KIND = {"pause_on": "pause"}
+
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One recorded event."""
+    """One recorded event (view over an obs :class:`TraceRecord`)."""
 
     time: float
     kind: str  #: "arrive" | "depart" | "drop" | "bcn" | "pause"
@@ -34,17 +48,46 @@ class TraceEvent:
         return f"{self.time:.9f} {self.kind:<7} {self.node}{flow}{detail}"
 
 
-@dataclass
-class FrameTracer:
-    """Collects :class:`TraceEvent` records from instrumented components."""
+def _to_view(record: TraceRecord) -> TraceEvent:
+    return TraceEvent(
+        time=record.t,
+        kind=_FROM_OBS_KIND.get(record.kind, record.kind),
+        node=record.node or "",
+        flow_id=record.flow,
+        detail=record.detail,
+    )
 
-    events: list[TraceEvent] = field(default_factory=list)
-    max_events: int | None = None
+
+class FrameTracer:
+    """Collects trace events from instrumented components.
+
+    Parameters
+    ----------
+    max_events:
+        Cap on stored events (later events are counted but dropped).
+        Ignored when an external ``obs`` handle is supplied — the
+        handle's own trace cap governs.
+    obs:
+        Observability handle to record into; the tracer creates a
+        private one when omitted.
+    """
+
+    def __init__(self, max_events: int | None = None,
+                 obs: Observability | None = None) -> None:
+        if obs is None:
+            obs = Observability(max_trace_events=max_events)
+        self.obs = obs
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return [_to_view(r) for r in self.obs.trace.records]
 
     def record(self, event: TraceEvent) -> None:
-        if self.max_events is not None and len(self.events) >= self.max_events:
-            return
-        self.events.append(event)
+        self.obs.event(
+            _TO_OBS_KIND.get(event.kind, event.kind), event.time,
+            engine="packet.reference", node=event.node, flow=event.flow_id,
+            detail=event.detail,
+        )
 
     # -- instrumentation ----------------------------------------------------
 
@@ -116,7 +159,7 @@ class FrameTracer:
     # -- output -------------------------------------------------------------
 
     def dump(self, path: str | Path) -> Path:
-        """Write the trace as one event per line."""
+        """Write the trace as one formatted event per line."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         with path.open("w") as fh:
@@ -124,11 +167,16 @@ class FrameTracer:
                 fh.write(event.format() + "\n")
         return path
 
+    def dump_jsonl(self, path: str | Path) -> Path:
+        """Write the trace in the structured JSONL schema."""
+        return self.obs.write_trace(path)
+
     def summary(self) -> str:
+        events = self.events
         counts = self.counts()
         parts = [f"{kind}={counts[kind]}" for kind in sorted(counts)]
         span = ""
-        if self.events:
-            span = (f" over [{self.events[0].time:.6f}, "
-                    f"{self.events[-1].time:.6f}]s")
-        return f"{len(self.events)} events ({', '.join(parts)}){span}"
+        if events:
+            span = (f" over [{events[0].time:.6f}, "
+                    f"{events[-1].time:.6f}]s")
+        return f"{len(events)} events ({', '.join(parts)}){span}"

@@ -1,0 +1,149 @@
+"""Property-based tests for the observability layer.
+
+Three algebraic contracts the rest of the PR leans on:
+
+* **trace round trip** — ``write_trace`` then ``read_trace`` is lossless
+  for arbitrary records (``None`` fields are omitted on disk and
+  restored on read), so the JSONL export is a faithful serialisation;
+* **histogram merge is associative and commutative** — bucket counts
+  are integers, so folding worker histograms in any grouping/order
+  gives identical counts (sums agree to float round-off);
+* **registry merge is commutative across worker splits** — any split of
+  one op stream over N simulated workers, folded back in any order,
+  reproduces the single-process registry exactly (counter values,
+  bucket counts) — the invariant that makes the pool's
+  completion-order-dependent merge in ``run_sweep_parallel`` sound.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    EVENT_KINDS,
+    Histogram,
+    MetricsRegistry,
+    TraceRecord,
+    read_trace,
+    write_trace,
+)
+
+_FINITE = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+_RECORDS = st.builds(
+    TraceRecord,
+    kind=st.sampled_from(sorted(EVENT_KINDS)),
+    t=_FINITE,
+    engine=st.sampled_from(["", "fluid.reference", "fluid.batch",
+                            "packet.reference", "packet.batched", "runner"]),
+    node=st.none() | st.text(max_size=8),
+    row=st.none() | st.integers(min_value=0, max_value=10_000),
+    flow=st.none() | st.integers(min_value=0, max_value=10_000),
+    value=st.none() | _FINITE,
+    detail=st.text(max_size=16),
+)
+
+_EDGES = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=2, max_size=8, unique=True,
+).map(sorted)
+
+_VALUES = st.lists(st.floats(min_value=-1e9, max_value=1e9,
+                             allow_nan=False), max_size=40)
+
+
+@settings(max_examples=50, deadline=None)
+@given(records=st.lists(_RECORDS, max_size=20),
+       meta=st.dictionaries(st.sampled_from(["engine", "duration", "note"]),
+                            st.text(max_size=8), max_size=2))
+def test_trace_write_read_round_trip(tmp_path_factory, records, meta):
+    path = tmp_path_factory.mktemp("trace") / "t.jsonl"
+    write_trace(path, records, meta=meta)
+    header, back = read_trace(path)
+    assert back == records
+    for key, value in meta.items():
+        assert header[key] == value
+
+
+@settings(max_examples=50, deadline=None)
+@given(edges=_EDGES, a=_VALUES, b=_VALUES, c=_VALUES)
+def test_histogram_merge_associative_and_commutative(edges, a, b, c):
+    def hist(values):
+        h = Histogram(edges)
+        h.observe_many(values)
+        return h
+
+    left = hist(a)           # (a + b) + c
+    left.merge(hist(b))
+    left.merge(hist(c))
+
+    bc = hist(b)             # a + (b + c)
+    bc.merge(hist(c))
+    right = hist(a)
+    right.merge(bc)
+
+    swapped = hist(c)        # (c + b) + a
+    swapped.merge(hist(b))
+    swapped.merge(hist(a))
+
+    assert left.counts.tolist() == right.counts.tolist()
+    assert left.counts.tolist() == swapped.counts.tolist()
+    assert left.count == len(a) + len(b) + len(c)
+    assert math.isclose(left.sum, right.sum, rel_tol=1e-9, abs_tol=1e-6)
+    assert math.isclose(left.sum, swapped.sum, rel_tol=1e-9, abs_tol=1e-6)
+
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("inc"),
+                  st.sampled_from(["events.bcn", "events.drop",
+                                   "runner.evaluated"]),
+                  st.integers(min_value=1, max_value=5)),
+        st.tuples(st.just("observe"),
+                  st.sampled_from(["queue_frac", "point_wall"]),
+                  st.floats(min_value=-2.0, max_value=2.0,
+                            allow_nan=False)),
+    ),
+    max_size=60,
+)
+
+_HIST_EDGES = {"queue_frac": (0.0, 0.5, 1.0), "point_wall": (0.0, 1.0)}
+
+
+def _apply(registry, ops):
+    for op in ops:
+        if op[0] == "inc":
+            registry.inc(op[1], op[2])
+        else:
+            registry.observe(op[1], op[2], _HIST_EDGES[op[1]])
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=_OPS,
+       cuts=st.lists(st.integers(min_value=0, max_value=60), max_size=3),
+       order=st.randoms(use_true_random=False))
+def test_registry_merge_commutes_across_worker_splits(ops, cuts, order):
+    serial = MetricsRegistry()
+    _apply(serial, ops)
+
+    # split the op stream over simulated workers at the random cuts
+    bounds = sorted({min(c, len(ops)) for c in cuts} | {0, len(ops)})
+    chunks = [ops[lo:hi] for lo, hi in zip(bounds, bounds[1:])]
+    snapshots = []
+    for chunk in chunks:
+        worker = MetricsRegistry()
+        _apply(worker, chunk)
+        snapshots.append(worker.snapshot())
+
+    order.shuffle(snapshots)  # pool futures complete in arbitrary order
+    merged = MetricsRegistry()
+    for snap in snapshots:
+        merged.merge_snapshot(snap)
+
+    assert merged.counter_values() == serial.counter_values()
+    assert set(merged.histograms) == set(serial.histograms)
+    for name, hist in serial.histograms.items():
+        assert merged.histograms[name].counts.tolist() == hist.counts.tolist()
+        assert math.isclose(merged.histograms[name].sum, hist.sum,
+                            rel_tol=1e-9, abs_tol=1e-9)

@@ -17,7 +17,7 @@ def _bench(name, mean, *, workload=None, engine=None, **extra):
         info["engine"] = engine
     return {
         "name": name,
-        "stats": {"mean": mean, "stddev": 0.0, "rounds": 3},
+        "stats": {"mean": mean, "min": mean, "stddev": 0.0, "rounds": 3},
         "extra_info": info,
     }
 
@@ -72,6 +72,34 @@ class TestThroughputFigures:
         assert report["kernels"]["a"]["ns_per_simulated_second"] == (
             0.3 / 0.2 * 1e9
         )
+
+
+class TestObservabilitySections:
+    def test_event_counts_grouped_by_workload_and_engine(self):
+        report = build_report(_raw(
+            _bench("a", 1.0, workload="w", engine="batched",
+                   event_counts={"bcn": 10, "drop": 2}),
+            _bench("b", 1.0, workload="w",
+                   event_counts={"region_switch": 3}),
+        ))
+        assert report["events"]["w"]["batched"] == {"bcn": 10, "drop": 2}
+        assert report["events"]["w"]["-"] == {"region_switch": 3}
+
+    def test_obs_overhead_relative_to_baseline(self):
+        report = build_report(_raw(_bench(
+            "a", 1.0, workload="w",
+            obs_overhead={"baseline_s": 1.0, "obs_disabled_s": 1.01,
+                          "obs_enabled_s": 1.5},
+        )))
+        row = report["overheads"]["w"]
+        assert row["baseline_s"] == 1.0
+        assert abs(row["obs_disabled_overhead"] - 0.01) < 1e-12
+        assert abs(row["obs_enabled_overhead"] - 0.5) < 1e-12
+
+    def test_no_obs_tags_yields_empty_sections(self):
+        report = build_report(_raw(_bench("a", 1.0)))
+        assert report["events"] == {}
+        assert report["overheads"] == {}
 
 
 class TestMerging:

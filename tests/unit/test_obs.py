@@ -1,0 +1,372 @@
+"""Unit tests for the observability layer (``repro.obs``)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Observability,
+    POINT_WALL_EDGES,
+    QUEUE_FRAC_EDGES,
+    SOJOURN_REL_EDGES,
+    SpanProfiler,
+    SpanStats,
+    TraceRecord,
+    TraceSink,
+    emit_sign_switches,
+    read_trace,
+    write_trace,
+)
+
+
+class TestCounterGauge:
+    def test_counter_inc_and_merge(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        c.merge(Counter(value=1.5))
+        c.merge(1.0)
+        assert c.value == 6.0
+
+    def test_gauge_keeps_more_updated_value(self):
+        a, b = Gauge(), Gauge()
+        a.set(1.0)
+        b.set(2.0)
+        b.set(3.0)
+        a.merge(b)
+        assert a.value == 3.0
+        assert a.updates == 3
+
+    def test_gauge_tie_prefers_self(self):
+        a, b = Gauge(), Gauge()
+        a.set(1.0)
+        b.set(2.0)
+        a.merge((b.value, b.updates))
+        assert a.value == 1.0
+        assert a.updates == 2
+
+
+class TestHistogram:
+    def test_bucket_boundaries(self):
+        h = Histogram([0.0, 1.0, 2.0])
+        for v in (-0.1, 0.0, 0.5, 1.0, 1.5, 2.0, 5.0):
+            h.observe(v)
+        # counts: below 0 | [0,1) | [1,2) | >= 2
+        assert h.counts.tolist() == [1, 2, 2, 2]
+        assert h.count == 7
+        assert h.mean() == pytest.approx(sum((-0.1, 0, .5, 1, 1.5, 2, 5)) / 7)
+
+    def test_observe_many_matches_observe(self):
+        values = np.linspace(-0.5, 4.5, 37)
+        a, b = Histogram([0.0, 1.0, 2.0, 4.0]), Histogram([0.0, 1.0, 2.0, 4.0])
+        a.observe_many(values)
+        for v in values:
+            b.observe(v)
+        assert a.counts.tolist() == b.counts.tolist()
+        assert a.sum == pytest.approx(b.sum)
+
+    def test_observe_many_empty_is_noop(self):
+        h = Histogram([0.0, 1.0])
+        h.observe_many([])
+        assert h.count == 0
+
+    def test_merge_requires_identical_edges(self):
+        h = Histogram([0.0, 1.0])
+        with pytest.raises(ValueError, match="different edges"):
+            h.merge(Histogram([0.0, 2.0]))
+
+    def test_edges_must_be_increasing(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram([0.0, 0.0, 1.0])
+        with pytest.raises(ValueError, match="at least two"):
+            Histogram([0.0])
+
+    def test_snapshot_round_trip(self):
+        h = Histogram(QUEUE_FRAC_EDGES)
+        h.observe_many([0.1, 0.5, 0.9, 1.4])
+        back = Histogram.from_snapshot(h.snapshot())
+        assert back.edges == h.edges
+        assert back.counts.tolist() == h.counts.tolist()
+        assert back.sum == h.sum
+
+
+class TestMetricsRegistry:
+    def test_histogram_requires_edges_on_first_use(self):
+        reg = MetricsRegistry()
+        with pytest.raises(KeyError):
+            reg.histogram("h")
+        reg.observe("h", 0.5, [0.0, 1.0])
+        reg.observe("h", 0.7)  # edges now optional
+        assert reg.histograms["h"].count == 2
+
+    def test_histogram_edge_conflict(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", [0.0, 1.0])
+        with pytest.raises(ValueError, match="other edges"):
+            reg.histogram("h", [0.0, 2.0])
+
+    def test_merge_snapshot_folds_all_kinds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("n", 2)
+        b.inc("n", 3)
+        b.inc("only_b")
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(2.0)
+        b.gauge("g").set(4.0)
+        a.observe("h", 0.5, [0.0, 1.0])
+        b.observe("h", 1.5, [0.0, 1.0])
+        b.observe("h2", 0.5, [0.0, 1.0])
+        a.merge_snapshot(b.snapshot())
+        assert a.counters["n"].value == 5
+        assert a.counters["only_b"].value == 1
+        assert a.gauges["g"].value == 4.0
+        assert a.histograms["h"].count == 2
+        assert a.histograms["h2"].count == 1
+
+    def test_snapshot_is_picklable_plain_data(self):
+        reg = MetricsRegistry()
+        reg.inc("n")
+        reg.observe("h", 0.5, [0.0, 1.0])
+        snap = pickle.loads(pickle.dumps(reg.snapshot()))
+        fresh = MetricsRegistry()
+        fresh.merge_snapshot(snap)
+        assert fresh.counters["n"].value == 1
+
+    def test_counter_values_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.inc("events.drop", 2)
+        reg.inc("runner.evaluated")
+        assert reg.counter_values("events.") == {"events.drop": 2.0}
+
+    def test_summary_table_renders(self):
+        reg = MetricsRegistry()
+        reg.inc("n")
+        reg.gauge("g").set(1.0)
+        reg.observe("h", 0.5, [0.0, 1.0])
+        table = reg.summary_table()
+        assert "n" in table and "h (n, mean)" in table
+
+
+class TestSpanProfiler:
+    def test_span_context_manager_accumulates(self):
+        prof = SpanProfiler()
+        with prof.span("work"):
+            pass
+        with prof.span("work"):
+            pass
+        stats = prof.spans["work"]
+        assert stats.count == 2
+        assert stats.total >= stats.max >= stats.min >= 0.0
+
+    def test_disabled_span_is_shared_noop(self):
+        prof = SpanProfiler(enabled=False)
+        assert prof.span("a") is prof.span("b")
+        with prof.span("a"):
+            pass
+        prof.add("a", 1.0)
+        assert prof.spans == {}
+
+    def test_merge_snapshot(self):
+        a, b = SpanProfiler(), SpanProfiler()
+        a.add("s", 1.0)
+        b.add("s", 3.0)
+        b.add("t", 0.5)
+        a.merge_snapshot(b.snapshot())
+        assert a.spans["s"].count == 2
+        assert a.spans["s"].max == 3.0
+        assert a.spans["s"].min == 1.0
+        assert a.spans["t"].total == 0.5
+
+    def test_span_stats_mean(self):
+        s = SpanStats()
+        assert s.mean() == 0.0
+        s.add(1.0)
+        s.add(3.0)
+        assert s.mean() == 2.0
+
+    def test_summary_table_sorted_by_total(self):
+        prof = SpanProfiler()
+        prof.add("small", 0.1)
+        prof.add("big", 9.0)
+        rows = prof.summary_rows()
+        assert rows[0][0] == "big"
+        assert "span" in prof.summary_table()
+
+
+class TestTrace:
+    def test_record_json_round_trip_omits_none(self):
+        r = TraceRecord(kind="drop", t=1.5, engine="packet.reference",
+                        node="cp0", flow=3, value=12000.0)
+        obj = r.to_json_obj()
+        assert "row" not in obj and "detail" not in obj
+        assert TraceRecord.from_json_obj(obj) == r
+
+    def test_sink_caps_and_counts_truncated(self):
+        sink = TraceSink(max_records=2)
+        sink.extend(TraceRecord(kind="drop", t=float(i)) for i in range(5))
+        assert len(sink.records) == 2
+        assert sink.truncated == 3
+        assert sink.counts() == {"drop": 2}
+        assert len(sink.of_kind("drop")) == 2
+
+    def test_sorted_records_orders_by_time(self):
+        sink = TraceSink()
+        sink.append(TraceRecord(kind="bcn", t=2.0))
+        sink.append(TraceRecord(kind="bcn", t=1.0))
+        assert [r.t for r in sink.sorted_records()] == [1.0, 2.0]
+
+    def test_write_read_trace(self, tmp_path):
+        records = [
+            TraceRecord(kind="region_switch", t=0.5, engine="fluid.batch",
+                        row=3, value=-1.0),
+            TraceRecord(kind="pause_on", t=0.7, engine="packet.batched",
+                        node="cp0", detail="excursion"),
+        ]
+        path = write_trace(tmp_path / "t.jsonl", records, meta={"run": "x"})
+        header, back = read_trace(path)
+        assert header["schema_version"] == SCHEMA_VERSION
+        assert header["run"] == "x"
+        assert back == records
+
+    def test_read_trace_rejects_empty_and_bad_version(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty trace"):
+            read_trace(empty)
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema_version": 999}\n')
+        with pytest.raises(ValueError, match="schema_version"):
+            read_trace(bad)
+
+
+class TestObservabilityHandle:
+    def test_event_counts_counter_vs_trace_filter(self):
+        obs = Observability()
+        obs.event("drop", 0.1, engine="packet.reference")
+        obs.event("drop", 0.2, engine="packet.batched")
+        obs.event("bcn", 0.3, engine="packet.batched")
+        assert obs.event_counts() == {"bcn": 1, "drop": 2}
+        assert obs.event_counts("packet.batched") == {"bcn": 1, "drop": 1}
+
+    def test_event_rejects_unknown_kind(self):
+        obs = Observability()
+        with pytest.raises(AssertionError):
+            obs.event("nonsense", 0.0, engine="x")
+
+    def test_counters_stay_exact_past_trace_cap(self):
+        obs = Observability(max_trace_events=3)
+        for i in range(10):
+            obs.event("bcn", float(i), engine="e")
+        assert obs.event_counts() == {"bcn": 10}
+        assert len(obs.trace.records) == 3
+        assert obs.trace.truncated == 7
+
+    def test_disabled_handle_swallows_everything(self):
+        obs = Observability.disabled()
+        obs.event("drop", 0.0, engine="e")
+        obs.count("c")
+        obs.gauge("g", 1.0)
+        obs.observe("h", 0.5, [0.0, 1.0])
+        obs.observe_array("h", [0.5], [0.0, 1.0])
+        obs.observe_queue("e", [1.0], 2.0, 1.0)
+        obs.add_span("s", 1.0)
+        with obs.span("s"):
+            pass
+        obs.merge_metrics({"metrics": {"counters": {"c": 1.0}}})
+        assert obs.event_counts() == {}
+        assert obs.metrics.counters == {}
+        assert obs.profiler.spans == {}
+
+    def test_enabled_metric_helpers_record(self):
+        obs = Observability()
+        obs.count("c", 2.0)
+        obs.gauge("g", 7.0)
+        obs.observe("h", 0.5, [0.0, 1.0])
+        obs.observe_array("h", [0.2, 0.8], [0.0, 1.0])
+        assert obs.metrics.counters["c"].value == 2.0
+        assert obs.metrics.gauges["g"].value == 7.0
+        assert obs.metrics.histograms["h"].count == 3
+
+    def test_observe_queue_normalises(self):
+        obs = Observability()
+        obs.observe_queue("fluid.reference", [0.0, 5.0, 10.0],
+                          buffer_bits=10.0, q0_bits=2.5)
+        frac = obs.metrics.histograms["queue_frac.fluid.reference"]
+        rel = obs.metrics.histograms["sojourn_rel.fluid.reference"]
+        assert frac.edges == QUEUE_FRAC_EDGES
+        assert rel.edges == SOJOURN_REL_EDGES
+        assert frac.count == rel.count == 3
+        assert frac.sum == pytest.approx(0.0 + 0.5 + 1.0)
+        assert rel.sum == pytest.approx(0.0 + 2.0 + 4.0)
+
+    def test_observe_queue_skips_degenerate_scales(self):
+        obs = Observability()
+        obs.observe_queue("e", [], 10.0, 2.5)
+        obs.observe_queue("e", [1.0], 0.0, 0.0)
+        assert obs.metrics.histograms == {}
+
+    def test_snapshot_merge_between_handles(self):
+        worker = Observability()
+        worker.event("drop", 0.0, engine="e")
+        worker.add_span("s", 2.0)
+        parent = Observability()
+        parent.merge_metrics(worker.snapshot())
+        assert parent.metrics.counters["events.drop"].value == 1
+        assert parent.profiler.spans["s"].total == 2.0
+
+    def test_write_trace_includes_truncation_meta(self, tmp_path):
+        obs = Observability(max_trace_events=1)
+        obs.event("bcn", 0.2, engine="e")
+        obs.event("bcn", 0.1, engine="e")
+        path = obs.write_trace(tmp_path / "t.jsonl", meta={"engine": "e"})
+        header, records = read_trace(path)
+        assert header["events_truncated"] == 1
+        assert header["engine"] == "e"
+        assert len(records) == 1
+
+    def test_summary_line(self):
+        obs = Observability()
+        obs.event("drop", 0.0, engine="e")
+        obs.event("bcn", 0.1, engine="e")
+        line = obs.summary()
+        assert "2 events" in line and "drop=1" in line
+
+
+class TestEmitSignSwitches:
+    def test_counts_sign_changes(self):
+        obs = Observability()
+        times = [0.0, 1.0, 2.0, 3.0, 4.0]
+        values = [1.0, -1.0, -2.0, 3.0, 4.0]
+        n = emit_sign_switches(obs, times, values, engine="e", node="cp0")
+        assert n == 2
+        switches = obs.trace.of_kind("region_switch")
+        assert [r.t for r in switches] == [1.0, 3.0]
+        assert switches[0].value == -1.0
+
+    def test_zeros_inherit_previous_sign(self):
+        obs = Observability()
+        # grazing touch of the switching line: not a crossing
+        n = emit_sign_switches(obs, [0, 1, 2], [1.0, 0.0, 2.0], engine="e")
+        assert n == 0
+        # zero then genuine crossing counts once
+        n = emit_sign_switches(obs, [0, 1, 2], [1.0, 0.0, -2.0], engine="e")
+        assert n == 1
+
+    def test_none_disabled_and_short_inputs(self):
+        assert emit_sign_switches(None, [0, 1], [1, -1], engine="e") == 0
+        disabled = Observability.disabled()
+        assert emit_sign_switches(disabled, [0, 1], [1, -1], engine="e") == 0
+        obs = Observability()
+        assert emit_sign_switches(obs, [0.0], [1.0], engine="e") == 0
+
+
+def test_point_wall_edges_are_increasing():
+    assert list(POINT_WALL_EDGES) == sorted(POINT_WALL_EDGES)
+    assert EVENT_KINDS  # vocabulary is non-empty and importable

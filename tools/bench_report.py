@@ -28,12 +28,23 @@ keeps what the perf trajectory needs:
   against ``engine="reference"`` rows that share
   ``extra_info["workload"]``.  Rows with other engine tags (e.g. the
   ``heap``/``calendar`` event-kernel microbenches) are reported but
-  never gated.
+  never gated;
+* per-workload **event counts** for benchmarks that tag
+  ``extra_info["event_counts"]`` (the observability layer's per-kind
+  totals), so BENCH JSONs record what the run *did*, not just how fast;
+* per-workload **observability overheads** for benchmarks that tag
+  ``extra_info["obs_overhead"]`` (interleaved per-variant minimum wall
+  times, keys ``baseline_s`` / ``obs_disabled_s`` / ``obs_enabled_s``):
+  the relative cost of each variant against the baseline.  The variants
+  are interleaved inside one benchmark because separate per-variant
+  blocks drift apart by far more than the 2% being gated.
 
 Exits non-zero when any workload's fast engine is slower than
-``--min-speedup`` × the reference, which is how the CI ``bench`` job
-fails on a regression while absorbing shared-runner noise (the
-committed report itself is regenerated on quiet hardware).
+``--min-speedup`` × the reference, or (with ``--max-overhead``) when
+any workload's ``obs_disabled`` variant exceeds the baseline by more
+than that fraction — how the CI ``bench`` job fails on a regression
+while absorbing shared-runner noise (the committed report itself is
+regenerated on quiet hardware).
 """
 
 from __future__ import annotations
@@ -54,6 +65,7 @@ def _kernel_entry(bench: dict) -> dict:
     extra = dict(bench.get("extra_info", {}))
     entry = {
         "mean_s": stats["mean"],
+        "min_s": stats["min"],
         "stddev_s": stats["stddev"],
         "rounds": stats["rounds"],
         "extra_info": extra,
@@ -73,6 +85,8 @@ def build_report(raws: dict | list[dict]) -> dict:
         raws = [raws]
     kernels = {}
     by_workload: dict[str, dict[str, dict]] = {}
+    overheads: dict[str, dict[str, float]] = {}
+    events: dict[str, dict[str, dict]] = {}
     for raw in raws:
         for bench in raw.get("benchmarks", []):
             name = bench["name"]
@@ -86,6 +100,19 @@ def build_report(raws: dict | list[dict]) -> dict:
             workload, engine = extra.get("workload"), extra.get("engine")
             if workload and engine:
                 by_workload.setdefault(workload, {})[engine] = entry
+            counts = extra.get("event_counts")
+            if workload and counts:
+                events.setdefault(workload, {})[engine or "-"] = counts
+            mins = extra.get("obs_overhead")
+            if workload and mins and "baseline_s" in mins:
+                row = {"baseline_s": mins["baseline_s"]}
+                for key, wall in sorted(mins.items()):
+                    if key == "baseline_s" or not key.endswith("_s"):
+                        continue
+                    row[key] = wall
+                    row[f"{key[:-2]}_overhead"] = (
+                        wall / mins["baseline_s"] - 1.0)
+                overheads[workload] = row
 
     speedups = {}
     for workload, engines in sorted(by_workload.items()):
@@ -113,6 +140,8 @@ def build_report(raws: dict | list[dict]) -> dict:
         },
         "kernels": kernels,
         "speedups": speedups,
+        "events": events,
+        "overheads": overheads,
     }
 
 
@@ -126,6 +155,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-speedup", type=float, default=1.0,
                         help="fail when any workload's fast/reference "
                              "speedup drops below this (default: 1.0)")
+    parser.add_argument("--max-overhead", type=float, default=None,
+                        help="fail when any workload's obs_disabled "
+                             "variant exceeds the baseline by more than "
+                             "this fraction (e.g. 0.02 for 2%%)")
     args = parser.parse_args(argv)
 
     report = build_report([json.loads(p.read_text()) for p in args.raw])
@@ -143,6 +176,21 @@ def main(argv: list[str] | None = None) -> int:
     if not report["speedups"]:
         print("warning: no fast/reference workload pairs found",
               file=sys.stderr)
+    for workload, row in report["overheads"].items():
+        for variant in sorted(k[:-len("_overhead")] for k in row
+                              if k.endswith("_overhead")):
+            overhead = row[f"{variant}_overhead"]
+            verdict = ""
+            if (args.max_overhead is not None and variant == "obs_disabled"
+                    and overhead > args.max_overhead):
+                verdict = f" REGRESSION (> {args.max_overhead:.1%})"
+                failed = True
+            print(f"{workload}: {variant} {row[f'{variant}_s']:.4f}s vs "
+                  f"baseline {row['baseline_s']:.4f}s -> "
+                  f"{overhead:+.2%} overhead{verdict}")
+    if args.max_overhead is not None and not report["overheads"]:
+        print("warning: --max-overhead given but no variant-tagged "
+              "workloads found", file=sys.stderr)
     print(f"wrote {args.output}")
     return 1 if failed else 0
 
