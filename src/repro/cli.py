@@ -15,6 +15,10 @@ Commands
 ``experiments``
     Run the paper-reproduction experiments (same as
     ``python -m repro.experiments``).
+``scenario``
+    List the named heavy-traffic scenario presets, or run one (incast,
+    churn, outages, time-varying capacity) on either packet engine —
+    single run or an N-seed sweep through the parallel runner.
 ``trace``
     Run one scenario on any of the four engines with observability on
     and export the structured JSONL event trace (region switches, BCN
@@ -197,6 +201,84 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from .scenarios import PRESETS, get_preset, run_scenario
+    from .scenarios.sweep import run_scenario_sweep
+
+    if args.preset is None or args.list:
+        rows = []
+        for name in sorted(PRESETS):
+            scenario = get_preset(name)
+            doc = (PRESETS[name].__doc__ or "").strip().splitlines()[0]
+            rows.append([name, len(scenario.events),
+                         f"{1e3 * scenario.duration:g} ms", doc])
+        print(format_table(["preset", "events", "horizon", "stress"], rows))
+        return 0
+
+    if args.seeds is not None:
+        from .runner.instrumentation import RunnerStats
+
+        stats = RunnerStats()
+        sweep = run_scenario_sweep(
+            args.preset,
+            seeds=range(args.seeds),
+            engine=args.engine,
+            workers=args.workers,
+            stats=stats,
+        )
+        rows = [
+            [rec["preset"], seed, rec["utilization"], rec["queue_peak"],
+             rec["dropped_frames"], rec["pauses"],
+             f"{rec['n_finished']}/{rec['n_dynamic_flows']}",
+             "-" if rec["fct_mean"] is None else f"{1e3 * rec['fct_mean']:.3f}"]
+            for seed, rec in zip(range(args.seeds), sweep.records)
+        ]
+        print(format_table(
+            ["preset", "seed", "utilization", "queue peak", "drops",
+             "pauses", "finished", "FCT mean (ms)"], rows))
+        print(f"\n{args.seeds} seeds on the {args.engine} engine "
+              f"in {stats.elapsed:.2f} s "
+              f"({'pooled' if stats.workers > 1 else 'serial'}, "
+              f"workers={stats.workers})")
+        return 0
+
+    obs = None
+    if args.obs:
+        from .obs import Observability
+
+        obs = Observability()
+    scenario = get_preset(args.preset, args.seed)
+    result = run_scenario(scenario, engine=args.engine, obs=obs)
+    sim = result.sim
+    fcts = [f.fct for f in result.flows if f.fct is not None]
+    rows = [
+        ["engine", args.engine],
+        ["events scheduled", len(scenario.events)],
+        ["capacity transitions", scenario.n_capacity_transitions()],
+        ["utilization (vs ∫C dt)", result.utilization()],
+        ["queue peak (bits)", sim.queue_peak()],
+        ["queue mean (bits)", sim.queue_mean()],
+        ["drops", sim.dropped_frames],
+        ["PAUSE frames", sim.pauses],
+        ["BCN messages", sim.bcn_negative + sim.bcn_positive],
+        ["dynamic flows finished", f"{len(fcts)}/{len(result.flows)}"],
+        ["conservation error (bits)", result.conservation_error()],
+    ]
+    if fcts:
+        import numpy as np
+
+        rows.append(["FCT mean (ms)", 1e3 * float(np.mean(fcts))])
+        rows.append(["FCT p99 (ms)", 1e3 * float(np.percentile(fcts, 99))])
+    print(format_table(["metric", "value"], rows))
+    if obs is not None:
+        print()
+        print(obs.summary())
+    if args.plot:
+        print(line_plot(sim.t, sim.queue, reference=scenario.params.q0,
+                        title=f"{args.preset} queue q(t) [{args.engine}]"))
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.__main__ import main as experiments_main
 
@@ -277,6 +359,28 @@ def build_parser() -> argparse.ArgumentParser:
         "profile", help="run one scenario and report spans + metrics")
     _add_obs_args(p_prof)
     p_prof.set_defaults(func=_cmd_profile)
+
+    p_scen = sub.add_parser(
+        "scenario",
+        help="list or run the heavy-traffic scenario presets")
+    p_scen.add_argument("preset", nargs="?", default=None,
+                        help="preset name (omit to list the registry)")
+    p_scen.add_argument("--list", action="store_true",
+                        help="list the preset registry and exit")
+    p_scen.add_argument("--engine", default="reference",
+                        choices=["reference", "batched"],
+                        help="packet engine to run the scenario on")
+    p_scen.add_argument("--seed", type=int, default=0,
+                        help="seed for a single run")
+    p_scen.add_argument("--seeds", type=int, default=None, metavar="N",
+                        help="run an N-seed sweep (seeds 0..N-1) instead")
+    p_scen.add_argument("--workers", type=int, default=None,
+                        help="pool size for --seeds sweeps")
+    p_scen.add_argument("--obs", action="store_true",
+                        help="run under observability and print its summary")
+    p_scen.add_argument("--plot", action="store_true",
+                        help="ASCII-plot the queue trajectory")
+    p_scen.set_defaults(func=_cmd_scenario)
 
     p_exp = sub.add_parser("experiments", help="run paper reproductions")
     p_exp.add_argument("ids", nargs="*")

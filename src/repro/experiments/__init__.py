@@ -20,6 +20,7 @@ id                artefact
 ``v6``            extension — heterogeneous sources vs mean field
 ``d1``            extension — feedback delay / Hopf limit cycle
 ``m1``            extension — victim flow: PAUSE spreading vs BCN
+``s1``            extension — scenario presets: incast + varying C(t)
 ================  ==================================================
 
 Run one with ``get_experiment("fig6")(render_plots=True)`` or all via
@@ -37,6 +38,7 @@ from . import (  # noqa: F401  (registration side effects)
     fig9_case3,
     fig10_case4,
     m1_victim_flow,
+    s1_scenarios,
     t1_theorem1,
     v1_criterion_sweep,
     v2_fluid_vs_packet,

@@ -9,6 +9,7 @@ guide and ``repro trace`` / ``repro profile`` for the CLI surface.
 from .handle import Observability, emit_sign_switches
 from .metrics import (
     Counter,
+    FCT_SLOWDOWN_EDGES,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -36,6 +37,7 @@ __all__ = [
     "QUEUE_FRAC_EDGES",
     "SOJOURN_REL_EDGES",
     "POINT_WALL_EDGES",
+    "FCT_SLOWDOWN_EDGES",
     "PointTiming",
     "SpanProfiler",
     "SpanStats",

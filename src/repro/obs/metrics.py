@@ -35,6 +35,7 @@ __all__ = [
     "QUEUE_FRAC_EDGES",
     "SOJOURN_REL_EDGES",
     "POINT_WALL_EDGES",
+    "FCT_SLOWDOWN_EDGES",
 ]
 
 #: Queue occupancy as a fraction of the physical buffer: 16 uniform
@@ -49,6 +50,13 @@ SOJOURN_REL_EDGES: tuple[float, ...] = tuple(np.linspace(0.0, 4.0, 17))
 #: Per-point runner wall time in seconds, roughly log-spaced.
 POINT_WALL_EDGES: tuple[float, ...] = (
     0.0, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0,
+)
+
+#: Flow-completion slowdown: achieved FCT over the ideal transfer time
+#: ``size / demand``.  1.0 is an unimpeded flow; log-spaced buckets out
+#: to 100x cover everything short of a stalled mouse (overflow bucket).
+FCT_SLOWDOWN_EDGES: tuple[float, ...] = (
+    0.0, 1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0, 35.0, 60.0, 100.0,
 )
 
 

@@ -43,6 +43,14 @@ EVENT_KINDS = frozenset({
     "converged",       # trajectory met the convergence criterion
     "arrive",          # frame enqueued (packet engines, tracing only)
     "depart",          # frame serviced (packet engines, tracing only)
+    # Scenario-layer events (additive in schema v1): the declarative
+    # schedule is known up front, so repro.scenarios emits these
+    # identically for both packet engines.
+    "flow_start",      # a dynamic flow begins sending
+    "flow_finish",     # a finite flow sent its last frame (value = FCT)
+    "link_down",       # outage begins (value = outage duration)
+    "link_up",         # outage ends
+    "capacity_change",  # C(t) transition (value = new capacity)
 })
 
 

@@ -1,0 +1,46 @@
+"""Declarative heavy-traffic scenarios over the packet engines.
+
+The scenario layer turns the static dumbbell harness into the dynamic
+regimes the ROADMAP's north star asks for: Poisson short-flow churn over
+persistent elephants, synchronized incast bursts, link outages and
+piecewise time-varying capacity ``C(t)``, all expressed as declarative
+timed events (:mod:`.events`), interpreted identically on the reference
+and batched packet engines (:mod:`.runtime`), packaged as named presets
+(:mod:`.presets`) and swept over seeds through the parallel runner
+(:mod:`.sweep`).
+"""
+
+from .events import (
+    CapacityChange,
+    FlowArrival,
+    FlowDeparture,
+    IncastBurst,
+    LinkOutage,
+    Scenario,
+    piecewise_capacity,
+    sinusoidal_capacity,
+)
+from .presets import PRESETS, base_params, get_preset, preset_names
+from .runtime import FlowOutcome, ScenarioResult, run_scenario
+from .sweep import ScenarioPoint, evaluate_scenario_point, run_scenario_sweep
+
+__all__ = [
+    "Scenario",
+    "FlowArrival",
+    "FlowDeparture",
+    "IncastBurst",
+    "LinkOutage",
+    "CapacityChange",
+    "piecewise_capacity",
+    "sinusoidal_capacity",
+    "PRESETS",
+    "preset_names",
+    "get_preset",
+    "base_params",
+    "run_scenario",
+    "ScenarioResult",
+    "FlowOutcome",
+    "ScenarioPoint",
+    "evaluate_scenario_point",
+    "run_scenario_sweep",
+]

@@ -1,0 +1,247 @@
+"""Named heavy-traffic scenario presets.
+
+Each preset is a factory ``(seed) -> Scenario`` registered in
+:data:`PRESETS`; randomised presets draw every variate from streams
+keyed by the seed (see the workloads seeding discipline), so one seed
+pins the entire plan and N-seed sweeps explore genuinely independent
+event schedules.
+
+All presets share one physical base point — a 1 Gb/s bottleneck with
+four persistent "elephant" flows under the paper's Section IV-style BCN
+gains — and stress it differently:
+
+==================  ====================================================
+``dc-baseline``     elephants + light Poisson mice churn
+``incast-32``       a 32-server synchronized fan-in over the elephants
+                    (drives the queue through ``q_sc``: a PAUSE episode)
+``churn-heavy``     heavy Poisson arrivals/departures of short flows
+``lossy-outage``    a mid-run egress blackout into a small buffer
+                    (fills, drops, recovers)
+``varying-capacity`` piecewise ``C(t)`` with three transitions
+``combined-stress`` churn + incast + a capacity dip + an outage + an
+                    elephant departure, all in one horizon
+==================  ====================================================
+
+Horizons are ~20 ms of simulated time so the full preset matrix (6
+presets x 2 engines x several seeds) stays cheap enough for tier-1.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from ..core.parameters import BCNParams
+from .events import (
+    CapacityChange,
+    FlowArrival,
+    FlowDeparture,
+    IncastBurst,
+    LinkOutage,
+    Scenario,
+    piecewise_capacity,
+)
+
+__all__ = ["PRESETS", "get_preset", "preset_names", "base_params"]
+
+#: Data frame size shared by every preset (1500 B keeps service times
+#: round at 1 Gb/s: 12 us per frame).
+FRAME_BITS = 12_000
+
+
+def base_params(
+    *, buffer_size: float = 8e6, q_sc: float | None = None
+) -> BCNParams:
+    """The shared physical base point (4 elephants on 1 Gb/s)."""
+    return BCNParams(
+        capacity=1e9,
+        n_flows=4,
+        q0=1e6,
+        buffer_size=buffer_size,
+        w=2.0,
+        pm=0.1,
+        gi=4.0,
+        gd=1.0 / 128.0,
+        ru=8e6,
+        q_sc=q_sc,
+    )
+
+
+def _poisson_arrivals(
+    *,
+    arrival_rate: float,
+    demand: float,
+    size_bits: float,
+    t_start: float,
+    t_end: float,
+    seed: int,
+    stream: str,
+) -> list[FlowArrival]:
+    """Seeded Poisson mice over ``[t_start, t_end)``.
+
+    One dedicated stream per preset (keyed ``{seed}:{stream}``) drives
+    the inter-arrival draws, so presets sharing a seed still see
+    independent processes.
+    """
+    rng = random.Random(f"{seed}:{stream}")
+    events: list[FlowArrival] = []
+    t = t_start + rng.expovariate(arrival_rate)
+    while t < t_end:
+        events.append(FlowArrival(t=t, demand=demand, size_bits=size_bits))
+        t += rng.expovariate(arrival_rate)
+    return events
+
+
+def dc_baseline(seed: int = 0) -> Scenario:
+    """Elephants plus light mice churn: the 'normal day' reference."""
+    mice = _poisson_arrivals(
+        arrival_rate=400.0,          # ~8 mice in 20 ms
+        demand=2e8,
+        size_bits=40 * FRAME_BITS,   # 480 kb each, ~2.4 ms at demand
+        t_start=0.002,
+        t_end=0.018,
+        seed=seed,
+        stream="dc-baseline",
+    )
+    return Scenario(
+        name="dc-baseline",
+        params=base_params(),
+        duration=0.02,
+        events=tuple(mice),
+        frame_bits=FRAME_BITS,
+        seed=seed,
+    )
+
+
+def incast_32(seed: int = 0) -> Scenario:
+    """A 32-server synchronized fan-in over the elephants.
+
+    The burst offers ~6.4 Gb/s into a 1 Gb/s port, so the queue shoots
+    through ``q_sc`` — the preset the conformance suite uses to check
+    that a PAUSE episode appears in the obs histograms of both engines.
+    """
+    return Scenario(
+        name="incast-32",
+        params=base_params(q_sc=3e6),
+        duration=0.02,
+        events=(
+            IncastBurst(
+                t=0.004,
+                n_servers=32,
+                response_bits=20 * FRAME_BITS,  # 240 kb per server
+                demand=2e8,
+            ),
+        ),
+        frame_bits=FRAME_BITS,
+        seed=seed,
+    )
+
+
+def churn_heavy(seed: int = 0) -> Scenario:
+    """Heavy Poisson churn: arrivals/departures dominate the dynamics."""
+    mice = _poisson_arrivals(
+        arrival_rate=2000.0,         # ~32 mice in 16 ms
+        demand=3e8,
+        size_bits=25 * FRAME_BITS,   # 300 kb each
+        t_start=0.001,
+        t_end=0.017,
+        seed=seed,
+        stream="churn-heavy",
+    )
+    return Scenario(
+        name="churn-heavy",
+        params=base_params(),
+        duration=0.02,
+        events=tuple(mice),
+        frame_bits=FRAME_BITS,
+        seed=seed,
+    )
+
+
+def lossy_outage(seed: int = 0) -> Scenario:
+    """An early egress blackout into a small buffer: fill, drop, recover.
+
+    The outage lands in the startup transient, while the elephants
+    still offer ~1.5 Gb/s (before BCN has reined them in), so the 3 Mb
+    buffer fills mid-outage and drop-tail engages — the batched
+    engine's exact scalar fallback path — before service resumes and
+    the loop recovers.
+    """
+    return Scenario(
+        name="lossy-outage",
+        params=base_params(buffer_size=3e6, q_sc=None),
+        duration=0.02,
+        events=(LinkOutage(t=0.002, duration=0.004),),
+        frame_bits=FRAME_BITS,
+        seed=seed,
+    )
+
+
+def varying_capacity(seed: int = 0) -> Scenario:
+    """Piecewise ``C(t)``: 1 -> 0.6 -> 0.8 -> 1 Gb/s (three transitions)."""
+    return Scenario(
+        name="varying-capacity",
+        params=base_params(),
+        duration=0.02,
+        events=piecewise_capacity(
+            [(0.005, 6e8), (0.010, 8e8), (0.015, 1e9)]
+        ),
+        frame_bits=FRAME_BITS,
+        seed=seed,
+    )
+
+
+def combined_stress(seed: int = 0) -> Scenario:
+    """Everything at once: churn + incast + a capacity dip + an outage
+    + an elephant departure."""
+    mice = _poisson_arrivals(
+        arrival_rate=800.0,
+        demand=2e8,
+        size_bits=25 * FRAME_BITS,
+        t_start=0.001,
+        t_end=0.018,
+        seed=seed,
+        stream="combined-stress",
+    )
+    events = tuple(mice) + (
+        IncastBurst(t=0.005, n_servers=16, response_bits=15 * FRAME_BITS,
+                    demand=2e8),
+        CapacityChange(t=0.009, capacity=7e8),
+        LinkOutage(t=0.012, duration=0.002),
+        CapacityChange(t=0.015, capacity=1e9),
+        FlowDeparture(t=0.016, address=0),
+    )
+    return Scenario(
+        name="combined-stress",
+        params=base_params(q_sc=3e6),
+        duration=0.02,
+        events=events,
+        frame_bits=FRAME_BITS,
+        seed=seed,
+    )
+
+
+#: The named preset registry: ``PRESETS[name](seed) -> Scenario``.
+PRESETS: dict[str, Callable[[int], Scenario]] = {
+    "dc-baseline": dc_baseline,
+    "incast-32": incast_32,
+    "churn-heavy": churn_heavy,
+    "lossy-outage": lossy_outage,
+    "varying-capacity": varying_capacity,
+    "combined-stress": combined_stress,
+}
+
+
+def preset_names() -> list[str]:
+    return sorted(PRESETS)
+
+
+def get_preset(name: str, seed: int = 0) -> Scenario:
+    """Build preset ``name`` for ``seed`` (raises on unknown names)."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario preset {name!r}; available: {preset_names()}"
+        ) from None
+    return factory(seed)

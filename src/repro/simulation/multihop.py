@@ -202,6 +202,60 @@ class MultiHopNetwork:
             e: [] for e in self.ports
         }
         self._sample_times: list[float] = []
+        #: Timed events ``(t, seq, fn)`` injected by the scenario layer;
+        #: both multihop engines replay the same heap, so a single
+        #: callback-based implementation serves reference and batched.
+        self._timed_events: list[tuple[float, int, object]] = []
+
+    # -- scenario hooks ----------------------------------------------------
+
+    def _register_event(self, t: float, fn) -> None:
+        if t < 0:
+            raise ValueError("event time cannot be negative")
+        self._timed_events.append((t, len(self._timed_events), fn))
+
+    def schedule_capacity(
+        self, t: float, port: tuple[str, str], capacity: float
+    ) -> None:
+        """At time ``t`` change one port's service rate (C(t) events)."""
+        if port not in self.ports:
+            raise ValueError(f"no instantiated port {port!r}")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._register_event(
+            t, lambda: self.ports[port].set_capacity(capacity)
+        )
+
+    def schedule_outage(
+        self, t: float, outage_duration: float,
+        port: tuple[str, str] | None = None,
+    ) -> None:
+        """Black out one port (or every port) for ``outage_duration``.
+
+        Store-and-forward: the in-flight frame on each affected port
+        completes; no new service starts until the outage ends.
+        """
+        if outage_duration <= 0:
+            raise ValueError("outage_duration must be positive")
+        targets = [port] if port is not None else None
+        if port is not None and port not in self.ports:
+            raise ValueError(f"no instantiated port {port!r}")
+
+        def apply() -> None:
+            until = self.sim.now + outage_duration
+            edges = targets if targets is not None else list(self.ports)
+            for edge in edges:
+                self.ports[edge].suspend_service(until)
+
+        self._register_event(t, apply)
+
+    def schedule_departure(self, t: float, flow_id: int) -> None:
+        """At time ``t`` mute flow ``flow_id`` permanently."""
+        if flow_id not in self.sources:
+            raise ValueError(f"unknown flow {flow_id!r}")
+        self._register_event(
+            t, lambda: setattr(self.sources[flow_id], "muted", True)
+        )
 
     # -- construction -----------------------------------------------------
 
@@ -328,6 +382,10 @@ class MultiHopNetwork:
             raise ValueError("duration must be positive")
         import time as _time
         wall_start = _time.monotonic() if self.obs is not None else 0.0
+        for t_event, _, fn in sorted(
+            self._timed_events, key=lambda ev: ev[:2]
+        ):
+            self.sim.schedule_at(t_event, fn)
         for spec in self.flows:
             source = self.sources[spec.flow_id]
             self.sim.schedule_at(spec.start_time, source.start)

@@ -248,6 +248,13 @@ class BCNNetworkSimulator:
             initial_rate = 1.5 * params.capacity / params.n_flows
         if min_rate is None:
             min_rate = min(1e6, initial_rate)
+        self._regulator_mode = regulator_mode
+        self._initial_rate = initial_rate
+        self._min_rate = min_rate
+        #: Timed events ``(t, seq, kind, payload)`` injected by the
+        #: scenario layer; ``seq`` preserves registration order among
+        #: same-timestamp events (see :meth:`schedule_capacity`).
+        self._timed_events: list[tuple[float, int, str, tuple]] = []
         self._queue_dt = (
             queue_sample_interval
             if queue_sample_interval is not None
@@ -316,6 +323,111 @@ class BCNNetworkSimulator:
         total_rate = sum(s.rate for s in self.sources)
         self._rate_samples.append(self.sim.now, total_rate)
 
+    # -- scenario hooks: dynamic flows and timed events -------------------
+
+    def add_flow(
+        self,
+        *,
+        start_time: float = 0.0,
+        demand: float | None = None,
+        size_bits: float | None = None,
+    ) -> TrafficSource:
+        """Add a dynamic flow (declared before :meth:`run`).
+
+        The flow's source starts pacing at ``start_time``, sends at up
+        to ``demand`` bits/s (default: the base initial rate) under the
+        same BCN regulator laws as the built-in sources, and — when
+        ``size_bits`` is given — stops after that many bits, recording
+        its send-side completion in ``TrafficSource.finish_time``.
+        Both packet engines honour all three knobs identically.
+        """
+        if demand is None:
+            demand = self._initial_rate
+        if demand <= 0:
+            raise ValueError("demand must be positive")
+        address = len(self.sources)
+        regulator = RateRegulator(
+            gi=self.params.gi,
+            gd=self.params.gd,
+            ru=self.params.ru,
+            initial_rate=demand,
+            min_rate=min(self._min_rate, demand),
+            line_rate=demand,
+            mode=self._regulator_mode,
+            max_dt=4.0
+            * expected_message_interval(
+                self.params.n_flows, self.frame_bits, self.params.pm,
+                self.params.capacity,
+            ),
+        )
+        uplink = Link(self.sim, self._propagation_delay, self.switch.receive)
+        source = TrafficSource(
+            self.sim,
+            address=address,
+            regulator=regulator,
+            send=uplink.transmit,
+            frame_bits=self.frame_bits,
+            total_bits=size_bits,
+            start_time=start_time,
+        )
+        backlink = Link(self.sim, self._propagation_delay,
+                        source.receive_control)
+        self.switch.register_bcn_link(address, backlink)
+        if self._enable_pause:
+            self.switch.register_pause_link(backlink)
+        self.sources.append(source)
+        return source
+
+    def _register_event(self, t: float, kind: str, payload: tuple) -> None:
+        if t < 0:
+            raise ValueError("event time cannot be negative")
+        self._timed_events.append((t, len(self._timed_events), kind, payload))
+
+    def schedule_capacity(self, t: float, capacity: float) -> None:
+        """At time ``t`` change the bottleneck service rate to ``capacity``.
+
+        Takes effect from the next service start (store-and-forward);
+        the batched engine truncates its control window at ``t`` so the
+        rate is constant within every window.  Same-timestamp events
+        apply in registration order.
+        """
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._register_event(t, "capacity", (capacity,))
+
+    def schedule_outage(self, t: float, outage_duration: float) -> None:
+        """Black out the bottleneck egress during ``[t, t + duration)``.
+
+        The in-flight frame completes; no new service starts while the
+        link is down.  Arrivals keep queueing and drop-tail keeps
+        applying, so a long outage fills the buffer and drops.
+        """
+        if outage_duration <= 0:
+            raise ValueError("outage_duration must be positive")
+        self._register_event(t, "outage", (outage_duration,))
+
+    def schedule_departure(self, t: float, address: int) -> None:
+        """At time ``t`` mute source ``address`` permanently.
+
+        Departure is a permanent mute: the regulator state stays in
+        place (its rate still counts toward the recorded aggregate,
+        matching both engines) but no further frames are emitted.
+        """
+        if not 0 <= address:
+            raise ValueError("address must be non-negative")
+        self._register_event(t, "departure", (address,))
+
+    def _apply_event(self, kind: str, payload: tuple) -> None:
+        """Apply one timed event (reference engine, at its sim time)."""
+        if kind == "capacity":
+            self.switch.set_capacity(payload[0])
+        elif kind == "outage":
+            self.switch.suspend_service(self.sim.now + payload[0])
+        elif kind == "departure":
+            self.sources[payload[0]].muted = True
+        else:  # pragma: no cover - _register_event controls the kinds
+            raise ValueError(f"unknown event kind {kind!r}")
+
     def _run_batched(self, duration: float) -> None:
         """Drive the scenario with frame-train batching.
 
@@ -337,11 +449,21 @@ class BCNNetworkSimulator:
         in the quantum.  A PAUSE truncates the window so its boundary
         stays sharp; a window where drop-tail engages is replayed
         frame-by-frame by the kernel's exact scalar fallback.
+
+        Timed events (:meth:`schedule_capacity`, :meth:`schedule_outage`,
+        :meth:`schedule_departure`) are additional window boundaries:
+        ``t_end`` clamps to the next event time, the event applies when
+        the clock lands exactly on it, and the per-source state arrays
+        are re-synced before the next window is planned.  Dynamic flows
+        (``start_time`` / ``total_bits``) need no boundary — a start
+        mid-window is just a later first emission of the arithmetic
+        train, and finite flows cap their train at the frames they have
+        left.
         """
-        if any(s.muted or s.total_bits is not None for s in self.sources):
+        if any(s.muted for s in self.sources):
             raise NotImplementedError(
-                "the batched engine paces continuous sources only; "
-                "use engine='reference' for muted or finite flows"
+                "the batched engine cannot pace initially-muted (on/off) "
+                "sources; use engine='reference' for those workloads"
             )
         d = self._propagation_delay
         L = float(self.frame_bits)
@@ -351,6 +473,10 @@ class BCNNetworkSimulator:
             self.switch,
             self.frame_bits,
             pause_fanout=n if self._enable_pause else 0,
+            # Frames emitted before a PAUSE reaches their source (one
+            # propagation delay control-path, then one data-path back)
+            # are in flight and must land, as in the reference engine.
+            pause_commit_horizon=2.0 * d,
         )
         self._batched_kernel = kernel
         # The auto quantum (2x the expected message interval) assumes the
@@ -377,24 +503,50 @@ class BCNNetworkSimulator:
         rates = np.array([s.regulator.rate for s in self.sources])
         total_rate = float(rates.sum())
         gaps = L / rates
-        next_emit = gaps.copy()  # first emission one gap after start
+        # First emission one gap after each flow's start time.
+        next_emit = np.array([s.start_time for s in self.sources]) + gaps
         paused = np.zeros(n)
         assoc_flags = np.array(
             [s.regulator.associated_cpid == cpid for s in self.sources]
         )
+        #: Emitting sources; cleared on departure or flow completion.
+        active = np.ones(n, dtype=bool)
+        #: Frames each finite flow still has to send (inf = persistent).
+        remaining = np.array([
+            np.inf if s.total_bits is None
+            else float(np.ceil(s.total_bits / L))
+            for s in self.sources
+        ])
         frames_acc = np.zeros(n, dtype=int)
         owed_bits = np.zeros(n)  # lag-compensation ledger
 
+        events = sorted(self._timed_events)
+        ev_pos = 0
+
         t = 0.0
         while t < duration:
-            t_end = min(t + quantum, duration)
+            # Apply every timed event the clock has reached; each is a
+            # window boundary, so normally ev_t == t exactly.
+            while ev_pos < len(events) and events[ev_pos][0] <= t:
+                ev_t, _, kind, payload = events[ev_pos]
+                ev_pos += 1
+                if kind == "capacity":
+                    kernel.set_capacity(payload[0])
+                elif kind == "outage":
+                    kernel.freeze_until(ev_t + payload[0])
+                elif kind == "departure":
+                    self.sources[payload[0]].muted = True
+                    active[payload[0]] = False
+            next_ev = events[ev_pos][0] if ev_pos < len(events) else np.inf
+            t_end = min(t + quantum, duration, next_ev)
             until = t_end - d
             first = np.maximum(next_emit, paused)
-            counts = np.where(
-                first <= until,
+            counts_f = np.where(
+                active & (first <= until),
                 np.floor((until - first) / gaps) + 1.0,
                 0.0,
-            ).astype(int)
+            )
+            counts = np.minimum(counts_f, remaining).astype(int)
             total = int(counts.sum())
             if total:
                 srcs = np.repeat(src_idx, counts)
@@ -424,6 +576,16 @@ class BCNNetworkSimulator:
             next_emit[has] = first[has] + gaps[has] * committed[has]
             held = (counts > 0) & ~has  # planned but cut off (PAUSE)
             next_emit[held] = first[held]
+            remaining[has] -= committed[has]
+            finished = has & (remaining <= 0)
+            if np.any(finished):
+                for i in np.nonzero(finished)[0]:
+                    # Send-side FCT: emission time of the last frame,
+                    # matching TrafficSource._emit in the reference path.
+                    self.sources[i].finish_time = float(
+                        first[i] + gaps[i] * (committed[i] - 1)
+                    )
+                active[finished] = False
             self._delivered_bits += window.delivered_bits
 
             # Emit recorder samples covered by this window.
@@ -513,8 +675,21 @@ class BCNNetworkSimulator:
         if self.engine == "batched":
             self._run_batched(duration)
         else:
+            # Timed events first: heap ties at the same timestamp break
+            # by insertion order, so events registered here fire before
+            # any frame arrival scheduled mid-run for the same instant.
+            for t_event, _, kind, payload in sorted(self._timed_events):
+                self.sim.schedule_at(
+                    t_event,
+                    lambda kind=kind, payload=payload: self._apply_event(
+                        kind, payload
+                    ),
+                )
             for source in self.sources:
-                source.start()
+                if source.start_time > 0.0:
+                    self.sim.schedule_at(source.start_time, source.start)
+                else:
+                    source.start()
             self._record()
             self.sim.schedule_every(
                 self._queue_dt, self._record, until=duration

@@ -138,6 +138,9 @@ class TrafficSource:
         The AIMD state; the source paces at ``regulator.rate``.
     send:
         Callback carrying each emitted frame to the first hop.
+    start_time:
+        Simulation time at which the source begins pacing (dynamic
+        workloads schedule arrivals here; 0.0 = active from the start).
     on_rate_change:
         Optional observer invoked as ``(time, rate)`` after every BCN
         update, used by the recorder.
@@ -153,8 +156,11 @@ class TrafficSource:
         frame_bits: int = 1500 * 8,
         dst: str = "sink",
         total_bits: float | None = None,
+        start_time: float = 0.0,
         on_rate_change: Callable[[float, float], None] | None = None,
     ) -> None:
+        if start_time < 0:
+            raise ValueError("start_time cannot be negative")
         self.sim = sim
         self.address = address
         self.regulator = regulator
@@ -162,12 +168,15 @@ class TrafficSource:
         self.frame_bits = frame_bits
         self.dst = dst
         self.total_bits = total_bits
+        self.start_time = start_time
         self.on_rate_change = on_rate_change
         self.frames_sent = 0
         self.bits_sent = 0.0
         self.paused_until = 0.0
         self._started = False
         self.muted = False  # on/off workloads toggle this
+        #: Emission time of a finite flow's last frame (None until then).
+        self.finish_time: float | None = None
         #: Pending-emission time for the batched frame-train path
         #: (None until the first train is planned).
         self._train_next: float | None = None
@@ -212,6 +221,11 @@ class TrafficSource:
         self.send(frame)
         self.frames_sent += 1
         self.bits_sent += self.frame_bits
+        if self.finished:
+            # Send-side flow completion time (emission of the last
+            # frame) — the FCT convention shared with the batched engine.
+            self.finish_time = now
+            return
         self.sim.schedule(self._gap(), self._emit)
 
     # -- frame-train batching (used by the batched packet engine) ---------
@@ -260,6 +274,8 @@ class TrafficSource:
         if committed:
             self.frames_sent += committed
             self.bits_sent += committed * self.frame_bits
+            if self.finished and self.finish_time is None:
+                self.finish_time = float(times[committed - 1])
             self._train_next = float(times[committed - 1]) + self._gap()
         elif times.size:
             # Nothing committed: the planned first emission stays pending.

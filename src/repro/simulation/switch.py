@@ -290,6 +290,26 @@ class CoreSwitch:
             self._service_paused_until, self.sim.now + frame.duration
         )
 
+    def suspend_service(self, until: float) -> None:
+        """Freeze the server until ``until`` (link outage semantics).
+
+        Store-and-forward: a frame already in service completes at its
+        scheduled time; no new service starts while frozen.  Arrivals
+        keep queueing (and drop-tail keeps applying), which is exactly
+        how a dead egress link behaves behind a drop-tail FIFO.
+        """
+        self._service_paused_until = max(self._service_paused_until, until)
+
+    def set_capacity(self, capacity: float) -> None:
+        """Change the service rate ``C`` (time-varying capacity C(t)).
+
+        Takes effect from the next service start; the in-flight frame
+        finishes at the rate it started with (store-and-forward).
+        """
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+
     def _start_service(self) -> None:
         if self.sim.now < self._service_paused_until:
             self._busy = True
@@ -377,12 +397,21 @@ class BatchedSwitchKernel:
         frame_bits: int,
         *,
         pause_fanout: int | None = None,
+        pause_commit_horizon: float = 0.0,
     ) -> None:
         if frame_bits <= 0:
             raise ValueError("frame_bits must be positive")
         self.switch = switch
         self.frame_bits = frame_bits
         self._ssvc = frame_bits / switch.capacity
+        #: On a PAUSE crossing the window commits through ``pause_at +
+        #: pause_commit_horizon`` instead of cutting at the crossing
+        #: arrival: frames emitted before the PAUSE frame reached their
+        #: source (one propagation delay out, one back) are already in
+        #: flight in the reference engine and must land, not be
+        #: retroactively deferred.  The orchestrator passes ``2 *
+        #: propagation_delay``.
+        self.pause_commit_horizon = pause_commit_horizon
         #: How many upstream neighbours a PAUSE reaches (the reference
         #: engine counts one per registered pause link).
         self.pause_fanout = (
@@ -403,9 +432,27 @@ class BatchedSwitchKernel:
         self._inflight = False
         #: PAUSE re-arm time (armed when the clock passes it)
         self._pause_rearm_at = -math.inf if switch._pause_armed else math.inf
+        #: No service may *start* before this time (link outage); the
+        #: in-flight frame still completes — store-and-forward, matching
+        #: :meth:`CoreSwitch.suspend_service`.
+        self._frozen_until = -math.inf
         # arrays of the last committed window, for queue_at()
         self._win_arrivals = np.empty(0)
         self._win_starts = np.empty(0)
+
+    # -- timed-event hooks -------------------------------------------------
+
+    def set_capacity(self, capacity: float) -> None:
+        """Change the service rate; callers truncate windows at the event."""
+        self.switch.set_capacity(capacity)
+        self._ssvc = self.frame_bits / capacity
+
+    def freeze_until(self, until: float) -> None:
+        """Suspend service starts until ``until`` (link outage)."""
+        self._frozen_until = max(self._frozen_until, until)
+        self.switch._service_paused_until = max(
+            self.switch._service_paused_until, until
+        )
 
     # -- queue series ------------------------------------------------------
 
@@ -449,6 +496,9 @@ class BatchedSwitchKernel:
         prev_inflight = self._inflight
         prev_next_free = self._next_free
         c0 = self._next_free if self._inflight else t_start
+        # Outage: no service start before _frozen_until (the completion
+        # hull floor delays every start past the freeze horizon).
+        c0 = max(c0, self._frozen_until)
 
         if total:
             k = np.arange(1, total + 1, dtype=float)
@@ -496,8 +546,13 @@ class BatchedSwitchKernel:
                         sw.obs.event("pause_off",
                                      pause_at + sw.pause_duration,
                                      engine=sw.obs_engine, node=sw.cpid)
-                    # commit the crossing arrival, defer the rest
-                    m = cut + 1
+                    # Commit through the in-flight horizon (frames the
+                    # PAUSE cannot take back), defer the rest.
+                    limit = min(pause_at + self.pause_commit_horizon, t_end)
+                    m = max(
+                        int(np.searchsorted(times, limit, side="right")),
+                        cut + 1,
+                    )
                     total = n_res + m
                     times = times[:m]
                     srcs = srcs[:m]
@@ -509,7 +564,10 @@ class BatchedSwitchKernel:
         else:
             q_bits = np.empty(0)
 
-        t_commit = t_end if pause_at is None else pause_at
+        if pause_at is None:
+            t_commit = t_end
+        else:
+            t_commit = min(pause_at + self.pause_commit_horizon, t_end)
 
         # -- sampling / BCN ------------------------------------------------
         if m:
@@ -615,6 +673,11 @@ class BatchedSwitchKernel:
         prev_inflight = self._inflight
         prev_next_free = self._next_free
         next_free = self._next_free if self._inflight else -math.inf
+        # Outage floor: the earliest time any *new* service may start.
+        # ``next_free`` doubles as the next start time of a backlogged
+        # frame, so flooring it here freezes starts without touching the
+        # in-flight completion already rolled into ``_next_free``.
+        next_free = max(next_free, t_start, self._frozen_until)
         any_started = False
 
         acc_arrivals: list[float] = [t_start] * backlog
@@ -623,13 +686,18 @@ class BatchedSwitchKernel:
         drops = 0
         accepted_new = 0
         pause_at: float | None = None
+        pause_limit = math.inf
         t_commit = t_end
+        committed = 0
 
         interval = sw._sample_interval
         rng = self._rng
 
         for j in range(times.size):
             a = float(times[j])
+            if a > pause_limit:
+                # Beyond the in-flight horizon of the PAUSE: deferred.
+                break
             # services that started strictly before this arrival
             while backlog and next_free < a:
                 starts.append(next_free)
@@ -687,6 +755,7 @@ class BatchedSwitchKernel:
                 if sw.obs is not None and len(msg_rows) > n_rows_before:
                     sw.obs.event("bcn", a, engine=sw.obs_engine,
                                  node=sw.cpid, flow=int(srcs[j]), value=sigma)
+            committed += 1
             if (sw.q_sc is not None and q_now > sw.q_sc
                     and a >= self._pause_rearm_at):
                 pause_at = a
@@ -697,12 +766,8 @@ class BatchedSwitchKernel:
                                  node=sw.cpid, value=sw.pause_duration)
                     sw.obs.event("pause_off", a + sw.pause_duration,
                                  engine=sw.obs_engine, node=sw.cpid)
-                t_commit = a
-                break
-
-        committed = j + 1 if times.size and (pause_at is not None) else (
-            int(times.size)
-        )
+                pause_limit = min(a + self.pause_commit_horizon, t_end)
+                t_commit = pause_limit
         # drain services through the commit horizon
         while backlog and next_free <= t_commit:
             starts.append(next_free)

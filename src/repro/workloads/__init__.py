@@ -8,6 +8,7 @@ from .generators import (
     incast,
     on_off,
     parallel_io,
+    poisson_short_flows,
     shuffle,
     staggered,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "staggered",
     "shuffle",
     "on_off",
+    "poisson_short_flows",
     "OnOffSchedule",
     "TraceConfig",
     "SyntheticTrace",

@@ -15,7 +15,17 @@ pattern and its common variants:
   convergence/fairness experiments;
 * :func:`shuffle` — all-to-all transfers (the MapReduce shuffle stage);
 * :func:`on_off` — flows toggling between demand and silence with
-  exponential holding times (deterministically seeded).
+  exponential holding times (deterministically seeded);
+* :func:`poisson_short_flows` — a Poisson arrival process of finite
+  "mice" flows over a horizon (the churn half of a dynamic scenario).
+
+Seeding discipline
+------------------
+Randomised generators draw every flow's variates from a stream keyed
+``f"{seed}:{i}"`` (plus a separate stream for the shared arrival
+process), so flow ``i``'s schedule depends only on the seed and its own
+index — adding or removing flows never perturbs the others, and the
+serial and parallel runner paths see identical workloads.
 """
 
 from __future__ import annotations
@@ -25,7 +35,7 @@ import random
 from .flows import FlowSpec
 
 __all__ = ["homogeneous", "incast", "parallel_io", "staggered", "on_off",
-           "shuffle", "OnOffSchedule"]
+           "shuffle", "poisson_short_flows", "OnOffSchedule"]
 
 
 def homogeneous(
@@ -179,9 +189,12 @@ class OnOffSchedule:
         if mean_on <= 0 or mean_off <= 0 or horizon <= 0:
             raise ValueError("mean_on, mean_off and horizon must be positive")
         self.horizon = horizon
-        rng = random.Random(seed)
         self.intervals: list[list[tuple[float, float]]] = []
-        for _ in range(n_flows):
+        for i in range(n_flows):
+            # One independent stream per flow (keyed by seed and index)
+            # so flow i's schedule never depends on how many variates
+            # the other flows consumed — see the module seeding notes.
+            rng = random.Random(f"{seed}:{i}")
             t = 0.0
             spans: list[tuple[float, float]] = []
             while t < horizon:
@@ -200,6 +213,54 @@ class OnOffSchedule:
         return (
             sum(b - a for a, b in self.intervals[flow_index]) / self.horizon
         )
+
+
+def poisson_short_flows(
+    sources: list[str],
+    sink: str,
+    *,
+    arrival_rate: float,
+    demand: float,
+    size_bits: float,
+    horizon: float,
+    seed: int = 0,
+    first_flow_id: int = 0,
+) -> list[FlowSpec]:
+    """A Poisson process of finite "mice" flows over ``horizon`` seconds.
+
+    Arrivals form one aggregate Poisson process of ``arrival_rate``
+    flows/s (exponential inter-arrivals from a dedicated seeded
+    stream); each arriving flow picks its source host from its own
+    per-flow stream, sends ``size_bits`` at up to ``demand`` bits/s,
+    and departs when done.  Flow ids are assigned in arrival order from
+    ``first_flow_id`` so the mice can coexist with persistent elephants
+    in one workload.
+    """
+    if not sources:
+        raise ValueError("need at least one source")
+    if arrival_rate <= 0 or horizon <= 0:
+        raise ValueError("arrival_rate and horizon must be positive")
+    if size_bits <= 0:
+        raise ValueError("size_bits must be positive")
+    arrivals_rng = random.Random(f"{seed}:arrivals")
+    flows: list[FlowSpec] = []
+    t = arrivals_rng.expovariate(arrival_rate)
+    i = 0
+    while t < horizon:
+        host_rng = random.Random(f"{seed}:{i}")
+        flows.append(
+            FlowSpec(
+                flow_id=first_flow_id + i,
+                src=host_rng.choice(sources),
+                dst=sink,
+                start_time=t,
+                demand=demand,
+                size_bits=size_bits,
+            )
+        )
+        t += arrivals_rng.expovariate(arrival_rate)
+        i += 1
+    return flows
 
 
 def on_off(

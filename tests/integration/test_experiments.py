@@ -35,7 +35,7 @@ def results():
 def test_all_expected_experiments_registered():
     assert set(EXPERIMENT_IDS) == {
         "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "t1", "v1", "v2", "v3", "v4", "v5", "v6", "d1", "m1",
+        "t1", "v1", "v2", "v3", "v4", "v5", "v6", "d1", "m1", "s1",
     }
 
 

@@ -146,7 +146,11 @@ def test_packet_pause_pairing_conformance():
 
     ref_on = len(ref_obs.trace.of_kind("pause_on"))
     bat_on = len(bat_obs.trace.of_kind("pause_on"))
-    assert abs(ref_on - bat_on) <= 2
+    # Episode counts agree within 12%: the batched engine commits the
+    # in-flight frames that physically land during the first 2*d of a
+    # PAUSE (its pause-commit horizon), which can split or merge
+    # excursions relative to the reference by a window's worth of lag.
+    assert abs(ref_on - bat_on) <= max(2, 0.12 * ref_on)
 
 
 def test_packet_queue_histograms_agree():

@@ -1,0 +1,176 @@
+"""Property tests for the scenario layer.
+
+Four guarantees, each over randomly generated event schedules:
+
+* **Totality** — any interleaving of arrivals, bursts, departures,
+  outages and capacity changes runs to completion on both engines, with
+  the queue bounded by the buffer and utilisation physically sane.
+* **Conservation** — bits injected equal bits delivered + queued +
+  dropped, up to the documented in-flight slack of
+  ``(n_sources + 2) * frame_bits``.
+* **Outage windows deliver nothing** — with a (single) outage in the
+  schedule, delivered bits stay below the deliverable-bit integral
+  ``∫C(t) dt`` with the outage window excluded, so a frozen port cannot
+  smuggle bits out.  (Schedules with *overlapping* outages are only
+  checked for totality: ``capacity_integral()`` deliberately
+  double-subtracts the overlap, making the bound conservative-invalid.)
+* **Permutation invariance** — a :class:`Scenario` built from any
+  permutation of the same event set is the *same object* (canonical
+  ordering), so engine results cannot depend on declaration order.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import BCNParams
+from repro.scenarios import (
+    CapacityChange,
+    FlowArrival,
+    FlowDeparture,
+    IncastBurst,
+    LinkOutage,
+    Scenario,
+    run_scenario,
+)
+
+DURATION = 0.008
+FRAME_BITS = 12_000
+N_BASE = 2
+
+
+def _params():
+    return BCNParams(
+        capacity=1e9,
+        n_flows=N_BASE,
+        q0=1e6,
+        buffer_size=4e6,
+        w=2.0,
+        pm=0.1,
+        gi=4.0,
+        gd=1 / 128,
+        ru=8e6,
+    )
+
+
+_times = st.floats(min_value=0.0, max_value=0.9 * DURATION,
+                   allow_nan=False, allow_infinity=False)
+_demands = st.sampled_from([1e8, 2e8, 4e8])
+
+_arrival = st.builds(
+    FlowArrival,
+    t=_times,
+    demand=_demands,
+    size_bits=st.one_of(
+        st.none(),
+        st.integers(min_value=4, max_value=15).map(
+            lambda k: float(k * FRAME_BITS)),
+    ),
+)
+_incast = st.builds(
+    IncastBurst,
+    t=_times,
+    n_servers=st.integers(min_value=2, max_value=5),
+    response_bits=st.integers(min_value=4, max_value=10).map(
+        lambda k: float(k * FRAME_BITS)),
+    demand=_demands,
+)
+_departure = st.builds(
+    FlowDeparture, t=_times, address=st.integers(0, N_BASE - 1))
+_outage = st.builds(
+    LinkOutage,
+    t=_times,
+    duration=st.floats(min_value=2e-4, max_value=1.5e-3),
+)
+_capacity = st.builds(
+    CapacityChange,
+    t=_times,
+    capacity=st.sampled_from([4e8, 6e8, 8e8, 1e9]),
+)
+
+_any_schedule = st.lists(
+    st.one_of(_arrival, _incast, _departure, _outage, _capacity),
+    max_size=6,
+)
+
+
+def _scenario(events, name="prop"):
+    return Scenario(
+        name=name,
+        params=_params(),
+        duration=DURATION,
+        events=tuple(events),
+        frame_bits=FRAME_BITS,
+    )
+
+
+def _outages(events):
+    return [e for e in events if isinstance(e, LinkOutage)]
+
+
+def _outages_overlap(events) -> bool:
+    spans = sorted((e.t, e.t + e.duration) for e in _outages(events))
+    return any(b0 > a1 for (a0, b0), (a1, b1) in zip(spans, spans[1:]))
+
+
+@given(events=_any_schedule, engine=st.sampled_from(["reference", "batched"]))
+@settings(max_examples=25, deadline=None)
+def test_arbitrary_schedules_run_and_conserve(events, engine):
+    result = run_scenario(_scenario(events), engine=engine)
+    sim = result.sim
+
+    # Physical sanity.
+    assert sim.queue.min() >= 0.0
+    assert sim.queue.max() <= _params().buffer_size * (1 + 1e-9)
+    assert (sim.t[1:] >= sim.t[:-1]).all()
+    assert sim.delivered_bits >= 0.0
+
+    # Conservation up to in-flight slack.
+    n_sources = sim.per_source_rate.size
+    slack = (n_sources + 2) * FRAME_BITS
+    assert abs(result.conservation_error()) <= slack
+
+    # Deliverable-bit bound (single/no outage only; see module docstring).
+    if not _outages_overlap(events):
+        assert sim.delivered_bits <= (
+            result.capacity_integral + 2 * FRAME_BITS)
+
+    # Every harvested FCT is causal.
+    for flow in result.flows:
+        if flow.finish_time is not None:
+            assert flow.finish_time >= flow.start_time
+            assert flow.fct > 0.0
+
+
+@given(
+    outage=_outage,
+    extra=st.lists(st.one_of(_arrival, _capacity), max_size=3),
+    engine=st.sampled_from(["reference", "batched"]),
+)
+@settings(max_examples=20, deadline=None)
+def test_outage_window_delivers_nothing(outage, extra, engine):
+    result = run_scenario(_scenario([outage] + extra), engine=engine)
+    # capacity_integral() excludes the outage window, so staying below
+    # it (+ slack for the in-flight store-and-forward frame) proves no
+    # new service started while the port was frozen.
+    assert result.sim.delivered_bits <= (
+        result.capacity_integral + 2 * FRAME_BITS)
+
+
+@given(events=_any_schedule, data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_event_order_permutation_invariant(events, data):
+    shuffled = data.draw(st.permutations(events))
+    assert _scenario(shuffled) == _scenario(events)
+
+
+@given(events=st.lists(st.one_of(_arrival, _outage, _capacity), min_size=2,
+                       max_size=4))
+@settings(max_examples=8, deadline=None)
+def test_permuted_schedules_run_bit_identically(events):
+    forward = run_scenario(_scenario(events), engine="reference")
+    backward = run_scenario(_scenario(list(reversed(events))),
+                            engine="reference")
+    assert forward.sim.delivered_bits == backward.sim.delivered_bits
+    np.testing.assert_array_equal(forward.sim.queue, backward.sim.queue)
+    assert forward.fcts == backward.fcts

@@ -128,3 +128,56 @@ class TestShuffle:
         import pytest
         with pytest.raises(ValueError):
             shuffle(["solo"], transfer_bits=1e6, demand=1e9)
+
+
+class TestPoissonShortFlows:
+    def _make(self, **kw):
+        from repro.workloads import poisson_short_flows
+
+        defaults = dict(arrival_rate=1000.0, demand=1e8, size_bits=120_000,
+                        horizon=0.05, seed=0)
+        defaults.update(kw)
+        return poisson_short_flows(["h0", "h1", "h2"], "sink", **defaults)
+
+    def test_flows_are_finite_mice_within_horizon(self):
+        flows = self._make()
+        assert flows, "expect ~50 arrivals at rate 1000/s over 50 ms"
+        for f in flows:
+            assert 0.0 < f.start_time < 0.05
+            assert f.size_bits == 120_000
+            assert f.dst == "sink"
+            assert f.src in {"h0", "h1", "h2"}
+        starts = [f.start_time for f in flows]
+        assert starts == sorted(starts)
+
+    def test_flow_ids_continue_from_first_flow_id(self):
+        flows = self._make(first_flow_id=10)
+        assert [f.flow_id for f in flows] == list(
+            range(10, 10 + len(flows)))
+
+    def test_seeded_and_seed_sensitive(self):
+        assert self._make() == self._make()
+        a = [f.start_time for f in self._make()]
+        b = [f.start_time for f in self._make(seed=1)]
+        assert a != b
+
+    def test_host_choice_stream_independent_of_arrival_stream(self):
+        """Per-flow streams: flow i's host draw is keyed (seed, i), so
+        doubling the arrival rate leaves earlier flows' hosts alone."""
+        sparse = self._make(arrival_rate=500.0)
+        dense = self._make(arrival_rate=500.0, horizon=0.1)
+        n = min(len(sparse), len(dense))
+        assert [f.src for f in sparse[:n]] == [f.src for f in dense[:n]]
+        assert [f.start_time for f in sparse[:n]] == \
+            [f.start_time for f in dense[:n]]
+
+    def test_on_off_per_flow_streams(self):
+        """OnOffSchedule flow i's intervals don't depend on n_flows."""
+        from repro.workloads.generators import OnOffSchedule
+
+        small = OnOffSchedule(2, mean_on=1.0, mean_off=1.0, horizon=20.0,
+                              seed=5)
+        large = OnOffSchedule(6, mean_on=1.0, mean_off=1.0, horizon=20.0,
+                              seed=5)
+        assert small.intervals[0] == large.intervals[0]
+        assert small.intervals[1] == large.intervals[1]
