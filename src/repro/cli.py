@@ -20,7 +20,8 @@ Commands
     churn, outages, time-varying capacity) on either packet engine —
     single run or an N-seed sweep through the parallel runner.
 ``trace``
-    Run one scenario on any of the four engines with observability on
+    Run one scenario on any of the engines (packet reference / batched /
+    compiled, fluid reference / batch / compiled) with observability on
     and export the structured JSONL event trace (region switches, BCN
     messages, PAUSE on/off, drops, buffer pinning, convergence).
 ``profile``
@@ -147,9 +148,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 OBS_ENGINES = {
     "packet-reference": ("packet", "reference"),
     "packet-batched": ("packet", "batched"),
+    "packet-compiled": ("packet", "compiled"),
     "fluid-reference": ("fluid", "reference"),
     "fluid-batch": ("fluid", "batch"),
+    "fluid-compiled": ("fluid", "compiled"),
 }
+
+
+def _resolve_packet_engine(engine: str) -> str:
+    """Downgrade ``compiled`` to ``batched`` when nothing can compile.
+
+    The compiled engine is numerically identical to the batched engine
+    on every backend tier (the numpy tier literally delegates), so the
+    fallback only changes speed — but the user asked for compiled, so
+    say what they are actually getting and why.
+    """
+    if engine == "compiled":
+        from .kernels import get_backend
+
+        if not get_backend().compiled:
+            print(
+                "warning: no compiled kernel backend is available "
+                "(numba is not installed and no C compiler was found); "
+                "falling back to the batched engine",
+                file=sys.stderr,
+            )
+            return "batched"
+    return engine
 
 
 def _run_observed(args: argparse.Namespace):
@@ -168,9 +193,12 @@ def _run_observed(args: argparse.Namespace):
             simulate_fluid(p, t_max=args.duration, mode=args.fluid_mode,
                            obs=obs)
         else:
+            fluid_method = "compiled" if engine == "compiled" else "numpy"
             simulate_fluid_batch(p, -p.q0, 0.0, t_max=args.duration,
-                                 mode=args.fluid_mode, obs=obs)
+                                 mode=args.fluid_mode, obs=obs,
+                                 fluid_method=fluid_method)
     else:
+        engine = _resolve_packet_engine(engine)
         net = BCNNetworkSimulator(params, regulator_mode=args.mode,
                                   engine=engine, obs=obs)
         net.run(args.duration)
@@ -204,6 +232,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_scenario(args: argparse.Namespace) -> int:
     from .scenarios import PRESETS, get_preset, run_scenario
     from .scenarios.sweep import run_scenario_sweep
+
+    args.engine = _resolve_packet_engine(args.engine)
 
     if args.preset is None or args.list:
         rows = []
@@ -368,7 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_scen.add_argument("--list", action="store_true",
                         help="list the preset registry and exit")
     p_scen.add_argument("--engine", default="reference",
-                        choices=["reference", "batched"],
+                        choices=["reference", "batched", "compiled"],
                         help="packet engine to run the scenario on")
     p_scen.add_argument("--seed", type=int, default=0,
                         help="seed for a single run")

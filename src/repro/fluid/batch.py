@@ -578,6 +578,8 @@ def simulate_fluid_batch(
     dt_scale: float = 0.02,
     convergence_rtol: float = _CONVERGENCE_RTOL,
     obs=None,
+    fluid_method: str = "numpy",
+    precision: str = "float64",
 ) -> BatchFluidResult:
     """Integrate M trajectories of the switched BCN fluid model at once.
 
@@ -589,12 +591,35 @@ def simulate_fluid_batch(
     ``fluid.batch.kernel`` span and per-row events under
     ``engine="fluid.batch"`` with the row index attached.
 
+    ``fluid_method`` selects the stepping implementation: ``"numpy"``
+    (this module's vectorized loop, the default), ``"compiled"`` (the
+    :mod:`repro.kernels` backend — numba or C — falling back to numpy
+    when neither is available) or ``"auto"`` (compiled when available).
+    ``precision`` (``"float64"``/``"float32"``) selects the state dtype
+    for ensemble work; the numpy path integrates in float64 and casts,
+    so tiers stay deterministic.
+
     Per-row semantics match the reference integrator: convergence is
     checked at the start and after each switching crossing (not
     mid-flight), ``max_switches`` freezes a row at its
     ``max_switches + 1``-th crossing, and in ``"physical"`` mode rows
     pin at the buffer limits under the exact closed-form pinned laws.
     """
+    if fluid_method not in ("numpy", "compiled", "auto"):
+        raise ValueError(f"unknown fluid_method {fluid_method!r}")
+    if precision not in ("float64", "float32"):
+        raise ValueError(f"unknown precision {precision!r}")
+    if fluid_method in ("compiled", "auto"):
+        from ..kernels import get_backend, simulate_fluid_batch_compiled
+
+        if get_backend().compiled:
+            return simulate_fluid_batch_compiled(
+                params, x0, y0, t_max=t_max, mode=mode,
+                max_switches=max_switches, dt=dt, dt_scale=dt_scale,
+                convergence_rtol=convergence_rtol, obs=obs,
+                precision=precision,
+            )
+        # no compiled backend: fall through to the numpy loop below
     p = as_normalized(params)
     if dt is None:
         dt = default_time_step(p, dt_scale=dt_scale)
@@ -677,6 +702,9 @@ def simulate_fluid_batch(
             record_fluid_obs(obs, "fluid.batch", p, st.events[row],
                              bool(st.reason[row] == 1), float(st.t_end[row]),
                              xs[: last + 1][live, row], row=row)
+    if precision == "float32":
+        xs = xs.astype(np.float32)
+        ys = ys.astype(np.float32)
     return BatchFluidResult(
         params=p,
         mode=mode,

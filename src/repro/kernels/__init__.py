@@ -1,0 +1,42 @@
+"""Compiled hot-path kernels behind the ``engine="compiled"`` seam.
+
+This package provides native implementations of the three hottest
+paths the ``repro.obs`` span profiles identify — the batched packet
+window (Lindley service hull + sigma sampling + PAUSE truncation), the
+batch fluid RK4 stepper with cubic-Hermite event refinement (float64
+and float32), and the calendar-queue slot operations — each compiled
+through whichever backend the environment offers:
+
+* **numba** ``@njit(cache=True)`` over the shared scalar bodies in
+  :mod:`repro.kernels._scalar` (install via ``pip install
+  repro[compiled]``);
+* a **cffi**-built C translation of the same bodies (any C compiler);
+* pure **numpy** — no compilation at all: the compiled entry points
+  transparently delegate to the existing batched engines, which the
+  scalar bodies mirror bit-for-bit.
+
+Select explicitly with ``REPRO_KERNEL_BACKEND=auto|numba|cffi|numpy``.
+Engine selection is one flag everywhere: ``engine="compiled"`` on
+:class:`~repro.simulation.network.BCNNetworkSimulator`, the scenario
+runtime and the CLI; ``fluid_method="compiled"`` on
+:func:`~repro.fluid.batch.simulate_fluid_batch`;
+``kernel="compiled-calendar"`` on
+:func:`~repro.simulation.engine.make_simulator`.
+"""
+
+from ._backend import (KernelBackend, available_backends,
+                       consume_warmup_span, get_backend, reset_backend)
+from .calendar import CompiledCalendarSimulator
+from .fluid import simulate_fluid_batch_compiled
+from .packet import CompiledSwitchKernel
+
+__all__ = [
+    "CompiledCalendarSimulator",
+    "CompiledSwitchKernel",
+    "KernelBackend",
+    "available_backends",
+    "consume_warmup_span",
+    "get_backend",
+    "reset_backend",
+    "simulate_fluid_batch_compiled",
+]

@@ -1,0 +1,108 @@
+"""Calendar-queue event kernel with compiled slot operations.
+
+:class:`CompiledCalendarSimulator` keeps the event objects (python
+callbacks) in the inherited per-slot lists but mirrors the bucket
+occupancy in a typed ``int64`` array, so the hot cursor scan — finding
+the next non-empty bucket, which the interpreted kernel does one slot
+at a time — collapses into a single compiled ``next_nonempty`` call.
+Event ordering is identical to :class:`CalendarSimulator` (and hence
+to the reference heap kernel); with no compiled backend the class
+still works, using the pure-python scan over the same typed array.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..simulation.engine import CalendarSimulator, Event
+from ._backend import KernelBackend, get_backend
+
+__all__ = ["CompiledCalendarSimulator"]
+
+
+class CompiledCalendarSimulator(CalendarSimulator):
+    """Calendar queue whose slot scans run in compiled code."""
+
+    def __init__(self, *, slot_width: float | None = None,
+                 n_slots: int = 1024, quantum_hint: float | None = None,
+                 backend: KernelBackend | None = None) -> None:
+        super().__init__(slot_width=slot_width, n_slots=n_slots,
+                         quantum_hint=quantum_hint)
+        self._backend = backend if backend is not None else get_backend()
+        self._counts = np.zeros(n_slots, dtype=np.int64)
+
+    # -- queue storage -----------------------------------------------------
+
+    def _push(self, event: Event) -> None:
+        offset = event.time - self._horizon_start
+        if offset < self._horizon:
+            idx = int(offset / self._slot_width)
+            if idx >= self._n_slots:  # float edge: t == horizon end
+                idx = self._n_slots - 1
+            if idx < self._cursor:
+                idx = self._cursor
+            if idx == self._cursor and self._active_is_heap:
+                heapq.heappush(self._slots[idx], event)
+            else:
+                self._slots[idx].append(event)
+            self._counts[idx] += 1
+        else:
+            heapq.heappush(self._overflow, event)
+        self._size += 1
+
+    def _advance_to_nonempty(self) -> bool:
+        n = self._n_slots
+        while True:
+            nxt = int(self._backend.next_nonempty(self._counts, self._cursor))
+            if nxt >= 0:
+                if nxt != self._cursor:
+                    self._cursor = nxt
+                    self._active_is_heap = False
+                bucket = self._slots[nxt]
+                if not self._active_is_heap:
+                    heapq.heapify(bucket)
+                    self._active_is_heap = True
+                return True
+            # Calendar exhausted: roll the horizon forward and refill
+            # from the overflow heap (same arithmetic as the parent).
+            if not self._overflow:
+                return False
+            next_time = self._overflow[0].time
+            periods = max(1, int((next_time - self._horizon_start)
+                                 / self._horizon))
+            self._horizon_start += periods * self._horizon
+            self._cursor = 0
+            self._active_is_heap = False
+            horizon_end = self._horizon_start + self._horizon
+            overflow = self._overflow
+            slots = self._slots
+            counts = self._counts
+            while overflow and overflow[0].time < horizon_end:
+                event = heapq.heappop(overflow)
+                idx = int((event.time - self._horizon_start)
+                          / self._slot_width)
+                if idx >= n:  # float edge
+                    idx = n - 1
+                slots[idx].append(event)
+                counts[idx] += 1
+
+    def _pop_min(self) -> Event:
+        if not self._advance_to_nonempty():  # pragma: no cover - guarded
+            raise IndexError("pop from empty calendar")
+        event = heapq.heappop(self._slots[self._cursor])
+        self._counts[self._cursor] -= 1
+        self._size -= 1
+        if event.cancelled:
+            self._cancelled_pending -= 1
+        return event
+
+    def _clear(self) -> None:
+        super()._clear()
+        self._counts[:] = 0
+
+    def _compact(self) -> None:
+        super()._compact()
+        for idx, bucket in enumerate(self._slots):
+            self._counts[idx] = len(bucket)

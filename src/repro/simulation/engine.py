@@ -224,11 +224,37 @@ class CalendarSimulator(Simulator):
         Bucket width in seconds.  Pick it near the typical event
         spacing (e.g. one frame service time for a packet simulation);
         a poor choice degrades gracefully to heap-like behaviour.
+        When omitted (``None``) the width is derived from
+        ``quantum_hint`` when given — ``quantum_hint / 64``, so one
+        control window spans ~64 buckets instead of collapsing into a
+        single bucket — and falls back to the legacy ``1e-6`` default
+        otherwise.
     n_slots:
         Number of buckets per horizon.
+    quantum_hint:
+        Optional control-quantum (window length) hint used to
+        auto-derive ``slot_width``; ignored when ``slot_width`` is
+        passed explicitly.
     """
 
-    def __init__(self, *, slot_width: float = 1e-6, n_slots: int = 1024) -> None:
+    #: Buckets per control quantum when auto-deriving the slot width.
+    _SLOTS_PER_QUANTUM = 64
+    #: Legacy default bucket width when no hint is available.
+    _DEFAULT_SLOT_WIDTH = 1e-6
+
+    def __init__(
+        self,
+        *,
+        slot_width: float | None = None,
+        n_slots: int = 1024,
+        quantum_hint: float | None = None,
+    ) -> None:
+        if slot_width is None:
+            if quantum_hint is not None and quantum_hint > 0 \
+                    and math.isfinite(quantum_hint):
+                slot_width = quantum_hint / self._SLOTS_PER_QUANTUM
+            else:
+                slot_width = self._DEFAULT_SLOT_WIDTH
         if slot_width <= 0 or not math.isfinite(slot_width):
             raise ValueError("slot_width must be positive and finite")
         if n_slots < 2:
@@ -349,14 +375,30 @@ class CalendarSimulator(Simulator):
 def make_simulator(
     kernel: str = "heap",
     *,
-    slot_width: float = 1e-6,
+    slot_width: float | None = None,
     n_slots: int = 1024,
+    quantum_hint: float | None = None,
 ) -> Simulator:
-    """Build an event kernel by name: ``"heap"`` or ``"calendar"``."""
+    """Build an event kernel by name.
+
+    ``"heap"`` and ``"calendar"`` are the reference kernels;
+    ``"compiled"`` (alias ``"compiled-calendar"``) is the calendar
+    queue with compiled slot scans from :mod:`repro.kernels`, which
+    degrades to the plain calendar when no compiled backend is
+    available.  ``slot_width=None`` lets the calendar derive its bucket
+    width from ``quantum_hint`` (see :class:`CalendarSimulator`).
+    """
     if kernel == "heap":
         return Simulator()
     if kernel == "calendar":
-        return CalendarSimulator(slot_width=slot_width, n_slots=n_slots)
+        return CalendarSimulator(slot_width=slot_width, n_slots=n_slots,
+                                 quantum_hint=quantum_hint)
+    if kernel in ("compiled", "compiled-calendar"):
+        from ..kernels import CompiledCalendarSimulator
+
+        return CompiledCalendarSimulator(slot_width=slot_width,
+                                         n_slots=n_slots,
+                                         quantum_hint=quantum_hint)
     raise ValueError(f"unknown event kernel {kernel!r}")
 
 

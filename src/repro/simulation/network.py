@@ -26,9 +26,9 @@ from .switch import BatchedSwitchKernel, CoreSwitch
 
 __all__ = ["SimulationResult", "BCNNetworkSimulator", "PACKET_ENGINES"]
 
-#: Selectable packet engines: the event-driven oracle and the
-#: frame-train batched fast path.
-PACKET_ENGINES = ("reference", "batched")
+#: Selectable packet engines: the event-driven oracle, the frame-train
+#: batched fast path, and its compiled-kernel variant (``repro.kernels``).
+PACKET_ENGINES = ("reference", "batched", "compiled")
 
 
 class _SeriesBuffer:
@@ -665,6 +665,269 @@ class BCNNetworkSimulator:
             source._train_next = float(next_emit[i])
         self.sim._now = duration
 
+    def _run_compiled(self, duration: float) -> None:
+        """Drive the scenario through the compiled window kernels.
+
+        Same orchestration as :meth:`_run_batched` — quantum windows,
+        boundary-applied control, the owed-bits lag ledger — but the
+        three hot loops run in compiled code: the per-source emission
+        trains merge through ``merge_trains`` instead of a
+        ``repeat``/``argsort`` pass, the switch window runs in a
+        :class:`~repro.kernels.CompiledSwitchKernel`, and each window's
+        BCN messages apply to struct-of-array regulator state through
+        ``apply_messages`` (the :class:`RateRegulator` objects are
+        synchronized once at the end of the run).  If no compiled
+        backend is available this delegates to :meth:`_run_batched`,
+        which the kernels match bit-for-bit anyway; if the sources
+        carry non-uniform regulator laws or ``on_rate_change``
+        observers, only the message delivery falls back to the python
+        loop so every observable stays exact.
+        """
+        from ..kernels import (CompiledSwitchKernel, consume_warmup_span,
+                               get_backend)
+
+        be = get_backend()
+        if not be.compiled:
+            self._run_batched(duration)
+            return
+        if any(s.muted for s in self.sources):
+            raise NotImplementedError(
+                "the compiled engine cannot pace initially-muted (on/off) "
+                "sources; use engine='reference' for those workloads"
+            )
+        if self.obs is not None:
+            consume_warmup_span(self.obs)
+        d = self._propagation_delay
+        L = float(self.frame_bits)
+        n = len(self.sources)
+        cpid = self.switch.cpid
+        kernel = CompiledSwitchKernel(
+            self.switch,
+            self.frame_bits,
+            pause_fanout=n if self._enable_pause else 0,
+            pause_commit_horizon=2.0 * d,
+            backend=be,
+        )
+        self._batched_kernel = kernel
+        quantum = self._control_quantum
+        if not self._quantum_explicit:
+            quantum = min(quantum, duration / 32.0)
+        dt = self._queue_dt
+
+        ticks = dt * np.arange(1, int(np.floor(duration / dt + 1e-9)) + 1)
+        grid = np.concatenate([ticks[ticks <= duration], [duration]])
+        grid_pos = 0
+        self._record()
+
+        # Pacing state (identical layout to the batched engine) plus the
+        # struct-of-array regulator mirror the message kernel updates in
+        # place: ``rates``/``owed_bits`` serve both roles directly.
+        regs = [s.regulator for s in self.sources]
+        rates = np.array([r.rate for r in regs])
+        total_rate = float(rates.sum())
+        gaps = L / rates
+        next_emit = np.array([s.start_time for s in self.sources]) + gaps
+        paused = np.zeros(n)
+        assoc8 = np.array(
+            [1 if r.associated_cpid == cpid else 0 for r in regs],
+            dtype=np.uint8,
+        )
+        active = np.ones(n, dtype=bool)
+        remaining = np.array([
+            np.inf if s.total_bits is None
+            else float(np.ceil(s.total_bits / L))
+            for s in self.sources
+        ])
+        frames_acc = np.zeros(n, dtype=np.int64)
+        owed_bits = np.zeros(n)
+
+        reg0 = regs[0]
+        mode_code = {"message": 0, "fluid-euler": 1,
+                     "fluid-exact": 2}.get(reg0.mode, -1)
+        fast_msgs = mode_code >= 0 and all(
+            s.on_rate_change is None
+            and s.regulator.gi == reg0.gi
+            and s.regulator.gd == reg0.gd
+            and s.regulator.ru == reg0.ru
+            and s.regulator.mode == reg0.mode
+            and s.regulator.max_dt == reg0.max_dt
+            for s in self.sources
+        )
+        reg_max_dt = -1.0 if reg0.max_dt is None else float(reg0.max_dt)
+        last_update = np.array([
+            np.nan if r._last_update is None else r._last_update
+            for r in regs
+        ])
+        updates = np.zeros(n, dtype=np.int64)
+        min_rate_a = np.array([r.min_rate for r in regs])
+        line_rate_a = np.array([r.line_rate for r in regs])
+        reg_d = np.empty(1)
+
+        events = sorted(self._timed_events)
+        ev_pos = 0
+
+        # Persistent per-window work buffers: passing the *same* array
+        # objects to the kernels every window lets the cffi backend
+        # cache its pointer casts (see ``_CffiKernels._ptr``).
+        first = np.empty(n)
+        counts = np.empty(n, dtype=np.int64)
+        comm = np.empty(n, dtype=np.int64)
+        fin_idx = np.empty(n, dtype=np.int64)
+        fin_t = np.empty(n)
+        merge_t = np.empty(max(64, 4 * n))
+        merge_src = np.empty(merge_t.shape[0], dtype=np.int64)
+        merge_assoc = np.empty(merge_t.shape[0], dtype=np.uint8)
+        empty_t = np.empty(0)
+        empty_src = np.empty(0, dtype=np.int64)
+        empty_assoc = np.empty(0, dtype=np.uint8)
+        # Sources with ``total_bits=None`` never finish, so the finish
+        # bookkeeping can be skipped wholesale for pure-elephant runs.
+        any_finite = 1 if np.isfinite(remaining).any() else 0
+
+        # Bound closures: argument marshalling (and, on the cffi tier,
+        # the pointer casts for every persistent array) happens once
+        # here instead of on each of the ~10^3..10^5 window iterations.
+        # Closures capture array *objects*, so any rebinding of the
+        # arrays above must re-bind the closure too (see the merge
+        # buffer growth branch below).
+        bound_pacing_plan = be.bind_pacing_plan(
+            next_emit, paused, active, remaining, gaps, first, counts)
+        bound_merge = be.bind_merge_trains(
+            first, gaps, counts, assoc8, merge_t, merge_src, merge_assoc)
+        bound_pacing_commit = be.bind_pacing_commit(
+            merge_src, first, gaps, counts, any_finite, next_emit,
+            remaining, active, frames_acc, comm, fin_idx, fin_t)
+        bound_owed = be.bind_owed_repay(owed_bits, next_emit, rates)
+        bound_apply = None
+        if fast_msgs:
+            bound_apply = be.bind_apply_messages(
+                mode_code, reg0.gi, reg0.gd, reg0.ru, reg_max_dt, d,
+                rates, last_update, assoc8, updates, min_rate_a,
+                line_rate_a, owed_bits, reg_d)
+
+        t = 0.0
+        while t < duration:
+            while ev_pos < len(events) and events[ev_pos][0] <= t:
+                ev_t, _, kind, payload = events[ev_pos]
+                ev_pos += 1
+                if kind == "capacity":
+                    kernel.set_capacity(payload[0])
+                elif kind == "outage":
+                    kernel.freeze_until(ev_t + payload[0])
+                elif kind == "departure":
+                    self.sources[payload[0]].muted = True
+                    active[payload[0]] = False
+            next_ev = events[ev_pos][0] if ev_pos < len(events) else np.inf
+            t_end = min(t + quantum, duration, next_ev)
+            until = t_end - d
+            total = int(bound_pacing_plan(until))
+            if total:
+                if total > merge_t.shape[0]:
+                    merge_t = np.empty(2 * total)
+                    merge_src = np.empty(2 * total, dtype=np.int64)
+                    merge_assoc = np.empty(2 * total, dtype=np.uint8)
+                    bound_merge = be.bind_merge_trains(
+                        first, gaps, counts, assoc8,
+                        merge_t, merge_src, merge_assoc)
+                    bound_pacing_commit = be.bind_pacing_commit(
+                        merge_src, first, gaps, counts, any_finite,
+                        next_emit, remaining, active, frames_acc,
+                        comm, fin_idx, fin_t)
+                bound_merge(d)
+                times = merge_t[:total]
+                srcs = merge_src[:total]
+                assoc = merge_assoc[:total]
+            else:
+                times, srcs, assoc = empty_t, empty_src, empty_assoc
+
+            window = kernel.process(t, t_end, times, srcs, assoc)
+
+            n_fin = int(bound_pacing_commit(window.committed))
+            for k in range(n_fin):
+                self.sources[int(fin_idx[k])].finish_time = float(fin_t[k])
+            self._delivered_bits += window.delivered_bits
+
+            hi = int(np.searchsorted(grid, window.t_commit, side="right"))
+            if hi > grid_pos:
+                pts = grid[grid_pos:hi]
+                self._queue_samples.extend(pts, kernel.queue_at(pts))
+                self._rate_samples.extend(
+                    pts, np.full(pts.size, total_rate)
+                )
+                grid_pos = hi
+
+            if fast_msgs:
+                if window.msg_t.size:
+                    reg_d[0] = total_rate
+                    bound_apply(window.msg_t, window.msg_src,
+                                window.msg_fb, window.msg_sigma,
+                                window.t_commit)
+                    total_rate = float(reg_d[0])
+                    np.divide(L, rates, out=gaps)
+            else:
+                for k in range(window.msg_t.size):
+                    i = int(window.msg_src[k])
+                    sent_at = float(window.msg_t[k])
+                    deliver_at = sent_at + d
+                    self.sim._now = deliver_at
+                    source = self.sources[i]
+                    rate_before = source.regulator.rate
+                    source.receive_control(
+                        BCNMessage(
+                            da=i,
+                            sa=cpid,
+                            cpid=cpid,
+                            fb=float(window.msg_fb[k]),
+                            q_off=float(window.msg_q_off[k]),
+                            q_delta=float(window.msg_dq[k]),
+                            fb_raw=float(window.msg_sigma[k]),
+                            sent_at=sent_at,
+                        )
+                    )
+                    rate_after = source.regulator.rate
+                    if rate_after != rate_before:
+                        delta = rate_after - rate_before
+                        owed_bits[i] += delta * max(
+                            window.t_commit - deliver_at, 0.0
+                        )
+                        total_rate += delta
+                        rates[i] = rate_after
+                        gaps[i] = L / rate_after
+                    assoc8[i] = (
+                        1 if source.regulator.associated_cpid == cpid
+                        else 0
+                    )
+            if window.pause_at is not None and self._enable_pause:
+                self.sim._now = window.pause_at + d
+                pause = PauseFrame(
+                    sa=cpid,
+                    duration=self._pause_duration,
+                    sent_at=window.pause_at,
+                )
+                for i, source in enumerate(self.sources):
+                    source.receive_control(pause)
+                    paused[i] = source.paused_until
+
+            bound_owed(until, np.nextafter(until, np.inf))
+
+            t = window.t_commit
+
+        for i, source in enumerate(self.sources):
+            source.frames_sent += int(frames_acc[i])
+            source.bits_sent += float(frames_acc[i]) * L
+            source._train_next = float(next_emit[i])
+        if fast_msgs:
+            # Fold the struct-of-array regulator state back into the
+            # RateRegulator objects so post-run inspection matches the
+            # batched engine exactly.
+            for i, reg in enumerate(regs):
+                reg.rate = float(rates[i])
+                lu = float(last_update[i])
+                reg._last_update = None if lu != lu else lu
+                reg.updates_applied += int(updates[i])
+                reg.associated_cpid = cpid if assoc8[i] else None
+        self.sim._now = duration
+
     # -- driving ---------------------------------------------------------------
 
     def run(self, duration: float) -> SimulationResult:
@@ -674,6 +937,8 @@ class BCNNetworkSimulator:
         wall_start = _time.monotonic() if self.obs is not None else 0.0
         if self.engine == "batched":
             self._run_batched(duration)
+        elif self.engine == "compiled":
+            self._run_compiled(duration)
         else:
             # Timed events first: heap ties at the same timestamp break
             # by insertion order, so events registered here fire before

@@ -63,6 +63,25 @@ def test_engine_is_bit_deterministic(engine, random_sampling):
     assert a.delivered_bits == b.delivered_bits
 
 
+@pytest.mark.parametrize("random_sampling", [False, True])
+def test_compiled_matches_batched_bitwise(random_sampling):
+    """``engine="compiled"`` replays the batched engine's exact
+    arithmetic (and its RNG draw discipline), so the results match bit
+    for bit on every backend tier — the numpy tier simply delegates."""
+    a = _run("batched", random_sampling=random_sampling)
+    b = _run("compiled", random_sampling=random_sampling)
+    np.testing.assert_array_equal(a.t, b.t)
+    np.testing.assert_array_equal(a.queue, b.queue)
+    np.testing.assert_array_equal(a.rate_total, b.rate_total)
+    np.testing.assert_array_equal(a.per_source_rate, b.per_source_rate)
+    assert a.dropped_frames == b.dropped_frames
+    assert a.forwarded_frames == b.forwarded_frames
+    assert a.bcn_negative == b.bcn_negative
+    assert a.bcn_positive == b.bcn_positive
+    assert a.pauses == b.pauses
+    assert a.delivered_bits == b.delivered_bits
+
+
 class TestReferenceVsBatched:
     """Fixed-scenario agreement, deterministic sampling.
 

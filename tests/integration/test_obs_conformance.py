@@ -94,9 +94,10 @@ PACKET_TOL_DROP = 0.12
 PACKET_TOL_SWITCH = 2
 
 
-def _assert_packet_conformance(params, duration, **kwargs):
+def _assert_packet_conformance(params, duration, engine="batched",
+                               **kwargs):
     ref_obs, ref_res = _packet_run(params, "reference", duration, **kwargs)
-    bat_obs, bat_res = _packet_run(params, "batched", duration, **kwargs)
+    bat_obs, bat_res = _packet_run(params, engine, duration, **kwargs)
     ref, bat = ref_obs.event_counts(), bat_obs.event_counts()
 
     # events are emitted at the emission sites: exact vs own stats
@@ -113,23 +114,27 @@ def _assert_packet_conformance(params, duration, **kwargs):
     return (ref_obs, ref_res), (bat_obs, bat_res)
 
 
-def test_packet_paper_message_mode_conformance():
-    _assert_packet_conformance(paper_example_params(), 0.03)
+@pytest.mark.parametrize("engine", ["batched", "compiled"])
+def test_packet_paper_message_mode_conformance(engine):
+    _assert_packet_conformance(paper_example_params(), 0.03, engine=engine)
 
 
-def test_packet_small_buffer_drop_storm_conformance():
+@pytest.mark.parametrize("engine", ["batched", "compiled"])
+def test_packet_small_buffer_drop_storm_conformance(engine):
     params = BCNParams(capacity=1e9, n_flows=10, q0=1e6, buffer_size=4e6,
                        w=2.0, pm=0.1, gi=4.0, gd=1e-5, ru=8e6)
-    (ref_obs, _), (bat_obs, _) = _assert_packet_conformance(params, 0.02)
+    (ref_obs, _), (bat_obs, _) = _assert_packet_conformance(
+        params, 0.02, engine=engine)
     assert ref_obs.event_counts()["drop"] > 100  # the storm actually ran
     assert bat_obs.event_counts()["drop"] > 100
 
 
-def test_packet_pause_pairing_conformance():
+@pytest.mark.parametrize("engine", ["batched", "compiled"])
+def test_packet_pause_pairing_conformance(engine):
     base = paper_example_params()
     params = base.with_(q_sc=0.6 * base.buffer_size)
     (ref_obs, ref_res), (bat_obs, bat_res) = _assert_packet_conformance(
-        params, 0.03)
+        params, 0.03, engine=engine)
 
     for obs, res, n_links in (
         (ref_obs, ref_res, params.n_flows),
@@ -153,10 +158,32 @@ def test_packet_pause_pairing_conformance():
     assert abs(ref_on - bat_on) <= max(2, 0.12 * ref_on)
 
 
-def test_packet_queue_histograms_agree():
+@pytest.mark.parametrize("engine", ["batched", "compiled"])
+def test_packet_queue_histograms_agree(engine):
     ref_obs, _ = _packet_run(paper_example_params(), "reference", 0.03)
-    bat_obs, _ = _packet_run(paper_example_params(), "batched", 0.03)
+    bat_obs, _ = _packet_run(paper_example_params(), engine, 0.03)
     ref = ref_obs.metrics.histograms["queue_frac.packet.reference"]
-    bat = bat_obs.metrics.histograms["queue_frac.packet.batched"]
+    bat = bat_obs.metrics.histograms[f"queue_frac.packet.{engine}"]
     assert ref.edges == bat.edges
     assert ref.mean() == pytest.approx(bat.mean(), rel=0.15)
+
+
+def test_packet_compiled_event_stream_matches_batched_exactly():
+    """The compiled engine tells the batched engine's story verbatim:
+    same records, same timestamps (multiset — the compiled drop-tail
+    fallback replays its events sorted by time, which can swap
+    simultaneous events from different sources)."""
+    base = paper_example_params()
+    params = base.with_(q_sc=0.6 * base.buffer_size)
+    bat_obs, bat_res = _packet_run(params, "batched", 0.03)
+    com_obs, com_res = _packet_run(params, "compiled", 0.03)
+
+    def stream(obs):
+        return sorted((e.kind, e.t, e.node, e.flow, e.value)
+                      for e in obs.trace.records)
+
+    assert stream(com_obs) == stream(bat_obs)
+    assert com_res.bcn_negative == bat_res.bcn_negative
+    assert com_res.bcn_positive == bat_res.bcn_positive
+    assert com_res.pauses == bat_res.pauses
+    assert com_res.dropped_frames == bat_res.dropped_frames

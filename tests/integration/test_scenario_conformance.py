@@ -102,7 +102,7 @@ class TestPresetConformance:
 
     def test_bits_conserved_on_each_engine(self, preset):
         scenario = get_preset(preset)
-        for engine in ("reference", "batched"):
+        for engine in ("reference", "batched", "compiled"):
             res = _result(preset, engine)
             slack = (res.sim.per_source_rate.size + 2) * scenario.frame_bits
             assert abs(res.conservation_error()) <= slack, (
@@ -126,10 +126,48 @@ class TestPresetConformance:
             schedule_stream(bat_obs, "batched")
 
 
+class TestCompiledEngineExact:
+    """``engine="compiled"`` is the batched engine on compiled kernels:
+    same windows, same messages, same RNG draws — so scenario results
+    must match the batched engine **bit for bit** on every backend tier
+    (the numpy tier delegates to the batched path outright)."""
+
+    def test_series_and_counters_match_batched(self, preset):
+        bat = _result(preset, "batched")
+        com = _result(preset, "compiled")
+        np.testing.assert_array_equal(com.sim.t, bat.sim.t)
+        np.testing.assert_array_equal(com.sim.queue, bat.sim.queue)
+        np.testing.assert_array_equal(com.sim.rate_total,
+                                      bat.sim.rate_total)
+        np.testing.assert_array_equal(com.sim.per_source_rate,
+                                      bat.sim.per_source_rate)
+        assert com.sim.dropped_frames == bat.sim.dropped_frames
+        assert com.sim.forwarded_frames == bat.sim.forwarded_frames
+        assert com.sim.pauses == bat.sim.pauses
+        assert com.sim.delivered_bits == bat.sim.delivered_bits
+        assert com.fcts == bat.fcts
+        assert com.injected_bits == bat.injected_bits
+        assert com.queued_bits_end == bat.queued_bits_end
+
+    def test_obs_event_streams_match_batched(self, preset):
+        """Event-for-event agreement (multiset: the compiled drop-tail
+        fallback replays drop/bcn/pause events sorted by time, which
+        can reorder simultaneous events from different sources)."""
+        def stream(res):
+            return sorted(
+                (e.kind, e.t, e.node, e.flow, e.value)
+                for e in res._obs.trace.records
+            )
+
+        assert stream(_result(preset, "compiled")) == \
+            stream(_result(preset, "batched"))
+
+
 class TestIncastEpisode:
     """The acceptance-criterion preset: a visible PAUSE episode."""
 
-    @pytest.mark.parametrize("engine", ["reference", "batched"])
+    @pytest.mark.parametrize("engine",
+                             ["reference", "batched", "compiled"])
     def test_queue_punches_through_q_sc(self, engine):
         res = _result("incast-32", engine)
         q_sc = res.scenario.params.q_sc
@@ -137,7 +175,8 @@ class TestIncastEpisode:
         assert res.sim.queue_peak() > q_sc
         assert res.sim.pauses > 0
 
-    @pytest.mark.parametrize("engine", ["reference", "batched"])
+    @pytest.mark.parametrize("engine",
+                             ["reference", "batched", "compiled"])
     def test_pause_episode_visible_in_obs(self, engine):
         obs = _result("incast-32", engine)._obs
         counts = obs.event_counts(engine=f"packet.{engine}")
@@ -145,7 +184,8 @@ class TestIncastEpisode:
         assert counts.get("pause_off", 0) > 0
         assert counts.get("flow_finish", 0) == 32
 
-    @pytest.mark.parametrize("engine", ["reference", "batched"])
+    @pytest.mark.parametrize("engine",
+                             ["reference", "batched", "compiled"])
     def test_fct_slowdown_histogram_populated(self, engine):
         obs = _result("incast-32", engine)._obs
         hist = obs.metrics.histograms.get(f"fct_slowdown.packet.{engine}")
@@ -163,13 +203,15 @@ class TestVaryingCapacity:
         scenario = get_preset("varying-capacity")
         assert scenario.n_capacity_transitions() >= 2
 
-    @pytest.mark.parametrize("engine", ["reference", "batched"])
+    @pytest.mark.parametrize("engine",
+                             ["reference", "batched", "compiled"])
     def test_capacity_steps_land_in_obs(self, engine):
         obs = _result("varying-capacity", engine)._obs
         counts = obs.event_counts(engine=f"packet.{engine}")
         assert counts.get("capacity_change", 0) >= 2
 
-    @pytest.mark.parametrize("engine", ["reference", "batched"])
+    @pytest.mark.parametrize("engine",
+                             ["reference", "batched", "compiled"])
     def test_utilization_measured_against_integral(self, engine):
         res = _result("varying-capacity", engine)
         # BCN keeps the reduced-capacity link busy: against nominal C
@@ -180,7 +222,8 @@ class TestVaryingCapacity:
 
 
 class TestLossyOutage:
-    @pytest.mark.parametrize("engine", ["reference", "batched"])
+    @pytest.mark.parametrize("engine",
+                             ["reference", "batched", "compiled"])
     def test_outage_fills_buffer_and_drops(self, engine):
         res = _result("lossy-outage", engine)
         assert res.sim.dropped_frames > 0
