@@ -8,8 +8,6 @@ figure's shape verdicts, and prints the rows/series the paper reports
 
 from __future__ import annotations
 
-import pytest
-
 import repro.experiments  # noqa: F401 — registration side effects
 from repro.experiments.base import ExperimentResult, get_experiment
 

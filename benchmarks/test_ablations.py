@@ -13,12 +13,10 @@ A3 — gain trade-off: smaller Gi shrinks Theorem 1's buffer but weakens
      Remarks, quantified.
 """
 
-import math
 
 import pytest
 
 from repro.analysis.sweeps import sweep
-from repro.analysis.validation import fluid_vs_packet
 from repro.core.limit_cycle import linearized_contraction
 from repro.core.parameters import BCNParams, paper_example_params
 from repro.core.stability import required_buffer

@@ -14,7 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..simulation.engine import Simulator
-from ..simulation.frames import EthernetFrame
 from ..simulation.link import Link
 from .common import BaselineResult, DumbbellRun, PacedSource, QueuedPort
 

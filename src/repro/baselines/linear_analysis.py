@@ -31,7 +31,6 @@ from dataclasses import dataclass
 
 from scipy.optimize import brentq
 
-from ..core.eigen import Region
 from ..core.parameters import BCNParams, NormalizedParams
 
 __all__ = [

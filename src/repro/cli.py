@@ -26,6 +26,10 @@ Commands
     messages, PAUSE on/off, drops, buffer pinning, convergence).
 ``profile``
     Same run, reporting the span profile and metric registry instead.
+``lint``
+    Run the repo-specific static analysis suite (RNG discipline,
+    wall-clock bans, kernel-tier parity, obs vocabulary, engine-seam
+    totality) over ``src/repro`` or the given paths.
 
 Examples
 --------
@@ -326,6 +330,35 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return experiments_main(argv)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .lint import (
+        LintError, check_names, render_json, render_text, run_lint,
+        worst_severity,
+    )
+
+    if args.list_checks:
+        for name in check_names():
+            print(name)
+        return 0
+    paths = [Path(p) for p in (args.paths or ["src/repro"])]
+    select = None
+    if args.select:
+        select = [name for chunk in args.select
+                  for name in chunk.split(",") if name]
+    try:
+        findings = run_lint(paths, select=select)
+    except LintError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return worst_severity(findings)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.reporting import run_reproduction_report
 
@@ -424,6 +457,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--no-cache", action="store_true",
                        help="ignore --cache-dir (cache disabled)")
     p_exp.set_defaults(func=_cmd_experiments)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repo-specific static analysis suite")
+    p_lint.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files/directories to lint "
+                             "(default: src/repro)")
+    p_lint.add_argument("--format", default="text",
+                        choices=["text", "json"],
+                        help="finding output format")
+    p_lint.add_argument("--select", action="append", metavar="CHECKS",
+                        help="comma-separated check names to run "
+                             "(default: all; see --list-checks)")
+    p_lint.add_argument("--list-checks", action="store_true",
+                        help="list registered check names and exit")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_report = sub.add_parser(
         "report", help="run all experiments into a markdown report")

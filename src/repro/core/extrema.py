@@ -24,7 +24,6 @@ from .eigen import Eigenstructure, FixedPointType
 from .trajectories import (
     DegenerateTrajectory,
     NodeTrajectory,
-    SpiralTrajectory,
     linear_trajectory,
 )
 

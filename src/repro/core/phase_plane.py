@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .eigen import Region, eigenstructure, region_eigenstructure
+from .eigen import Region, region_eigenstructure
 from .parameters import BCNParams, NormalizedParams
 from .switching import SwitchingLine
 from .trajectories import LinearTrajectory, linear_trajectory

@@ -26,7 +26,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from .eigen import Region, region_eigenstructure
 from .parameters import BCNParams, NormalizedParams
 from .phase_plane import PaperCase, PhasePlaneAnalyzer, classify_case
 

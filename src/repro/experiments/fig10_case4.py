@@ -12,7 +12,6 @@ same proposition.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..core.eigen import FixedPointType, Region
 from ..core.phase_plane import PaperCase, PhasePlaneAnalyzer, classify_case

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 
 from ..core.eigen import Region
 from ..core.phase_plane import PaperCase, PhasePlaneAnalyzer, classify_case

@@ -23,7 +23,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.fairness import fairness_trajectory, simulate_two_flows
-from ..analysis.metrics import jain_index
 from ..core.parameters import BCNParams
 from ..viz.ascii import line_plot
 from .base import ExperimentResult, register

@@ -39,7 +39,6 @@ from .model import (
     decrease_field,
     increase_field,
     linearized_decrease_field,
-    pinned_empty_field,
     pinned_full_field,
 )
 
@@ -245,7 +244,7 @@ def simulate_fluid(
         trajectory's events under ``engine="fluid.reference"`` and
         fills the normalised queue histograms.
     """
-    wall_start = _time.monotonic() if obs is not None else 0.0
+    wall_start = _time.monotonic() if obs is not None else 0.0  # repro-lint: disable=wall-clock -- obs span wall-time
     p = as_normalized(params)
     if x0 is None:
         x0 = -p.q0
@@ -393,7 +392,7 @@ def simulate_fluid(
     events.sort(key=lambda e: e.time)
     if obs is not None:
         obs.add_span("fluid.reference.simulate",
-                     _time.monotonic() - wall_start)
+                     _time.monotonic() - wall_start)  # repro-lint: disable=wall-clock -- obs span wall-time
         record_fluid_obs(obs, "fluid.reference", p, events, converged,
                          float(t_arr[-1]), x_arr)
     return FluidTrajectory(

@@ -181,7 +181,7 @@ class _NumbaKernels(KernelBackend):
     def __init__(self) -> None:
         import numba
 
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # repro-lint: disable=wall-clock -- jit warm-up span timing
         jit = numba.njit(cache=True, fastmath=False)
         # The kernel bodies call the module-level helpers by global name;
         # nopython compilation requires those globals to already be
@@ -201,7 +201,7 @@ class _NumbaKernels(KernelBackend):
         self.fluid_rows = jit(_scalar.fluid_rows)
         self.next_nonempty = jit(_scalar.next_nonempty)
         self._warm_up()
-        self.warmup_seconds = time.perf_counter() - t0
+        self.warmup_seconds = time.perf_counter() - t0  # repro-lint: disable=wall-clock -- jit warm-up span timing
 
     def _warm_up(self) -> None:
         """Trigger compilation on empty inputs so later calls are hot."""

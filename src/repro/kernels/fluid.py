@@ -101,7 +101,7 @@ def simulate_fluid_batch_compiled(
     ev_y = np.zeros(m * ev_cap)
     out_i = np.zeros(2, dtype=np.int64)
 
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro-lint: disable=wall-clock -- kernel span timing
     be.fluid_rows(
         xr, yr, t_grid, p.a, p.b, p.capacity, p.k, p.q0,
         p.buffer_size - p.q0, -p.q0,
@@ -111,7 +111,7 @@ def simulate_fluid_batch_compiled(
         xs, ys, reason, switches, t_end, x_end, y_end,
         ev_cap, n_events, ev_t, ev_kind, ev_x, ev_y, out_i,
     )
-    kernel_seconds = time.perf_counter() - started
+    kernel_seconds = time.perf_counter() - started  # repro-lint: disable=wall-clock -- kernel span timing
 
     if out_i[1]:
         # Pathological event density blew the preallocated buffers —

@@ -1,0 +1,334 @@
+"""Visitor core of the repo-specific static analysis suite.
+
+The linter parses every target file once into an :class:`ast.Module`
+(:class:`SourceFile`), bundles the parses into a :class:`LintProject`,
+and hands the project to each registered check.  Checks are plain
+functions ``(LintProject) -> Iterable[Finding]`` registered with
+:func:`register`; per-file checks iterate ``project.files``, cross-file
+checks (kernel-tier parity) read companion sources through
+``project.repro_source``.
+
+Suppressions are inline comments on the offending line::
+
+    started = time.perf_counter()  # repro-lint: disable=wall-clock -- timing span
+
+The ``-- reason`` is mandatory: a suppression without one, and a
+suppression that matches no finding, are themselves findings (the
+``suppression`` meta-check), so the suppression inventory can never rot
+silently.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "LintProject",
+    "SourceFile",
+    "Suppression",
+    "CHECKS",
+    "register",
+    "check_names",
+    "collect_files",
+    "run_lint",
+]
+
+#: ``# repro-lint: disable=<check>[,<check>...] [-- reason]``
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,-]+)(?:\s*--\s*(?P<reason>.*))?"
+)
+
+
+class LintError(Exception):
+    """Unrecoverable analysis failure (unreadable file, bad check name)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: where, which check, and what invariant broke."""
+
+    check: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"[{self.check}] {self.message}")
+
+    def to_json_obj(self) -> dict[str, object]:
+        return {
+            "check": self.check,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppression:
+    """One inline disable comment."""
+
+    line: int
+    checks: tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class SourceFile:
+    """One parsed target file."""
+
+    path: Path
+    rel: str
+    text: str
+    tree: ast.Module
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    @property
+    def module(self) -> str:
+        """Dotted module path when the file lives under a ``repro`` dir,
+        else the bare stem (fixture files, tools)."""
+        parts = self.path.parts
+        if "repro" in parts:
+            tail = parts[parts.index("repro"):]
+            name = ".".join(tail)
+            name = name.removesuffix(".py")
+            return name.removesuffix(".__init__")
+        return self.path.stem
+
+    def in_package(self, *packages: str) -> bool:
+        """True when the module falls under any dotted package prefix.
+
+        Files that do not map into ``repro.*`` (lint fixtures, scripts)
+        match every package, so the full check battery applies to them.
+        """
+        module = self.module
+        if not module.startswith("repro"):
+            return True
+        return any(module == p or module.startswith(p + ".")
+                   for p in packages)
+
+    def suppressed(self, check: str, line: int) -> bool:
+        """Consume a matching suppression for ``check`` on ``line``."""
+        for sup in self.suppressions:
+            if sup.line == line and check in sup.checks:
+                sup.used = True
+                return True
+        return False
+
+
+CheckFn = Callable[["LintProject"], Iterable[Finding]]
+
+#: name -> check function; populated by the :func:`register` decorator
+#: when :mod:`repro.lint` imports the check modules.
+CHECKS: dict[str, CheckFn] = {}
+
+
+def register(name: str) -> Callable[[CheckFn], CheckFn]:
+    """Class-of-one decorator adding a check under ``name``."""
+    def wrap(fn: CheckFn) -> CheckFn:
+        if name in CHECKS:
+            raise LintError(f"duplicate check name {name!r}")
+        CHECKS[name] = fn
+        return fn
+    return wrap
+
+
+def check_names() -> tuple[str, ...]:
+    """All registered check names (stable order)."""
+    return tuple(sorted(CHECKS))
+
+
+def _parse_suppressions(path: Path, text: str) -> list[Suppression]:
+    """Extract ``repro-lint`` comments with real tokenization.
+
+    Using :mod:`tokenize` rather than a line regex keeps the marker
+    inert inside string literals (the fixture files spell it out).
+    """
+    out: list[Suppression] = []
+    lines = iter(text.splitlines(keepends=True))
+    try:
+        for tok in tokenize.generate_tokens(lambda: next(lines, "")):
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            checks = tuple(c for c in match.group(1).split(",") if c)
+            reason = (match.group("reason") or "").strip()
+            out.append(Suppression(tok.start[0], checks, reason))
+    except tokenize.TokenError as exc:
+        raise LintError(f"{path}: cannot tokenize: {exc}") from exc
+    return out
+
+
+def _load(path: Path, rel: str) -> SourceFile:
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise LintError(f"{path}: unreadable: {exc}") from exc
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        raise LintError(f"{path}: syntax error: {exc}") from exc
+    return SourceFile(path=path, rel=rel, text=text, tree=tree,
+                      suppressions=_parse_suppressions(path, text))
+
+
+def collect_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated .py list."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif not path.exists():
+            raise LintError(f"{path}: no such file or directory")
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for cand in candidates:
+            resolved = cand.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(cand)
+    return out
+
+
+@dataclass
+class LintProject:
+    """Everything the checks see: parsed targets + companion lookups."""
+
+    files: list[SourceFile]
+    #: Directory of the ``repro`` package itself, for checks that read
+    #: registry sources (obs vocabulary, kernel tiers) even when those
+    #: files are not among the lint targets.
+    repro_root: Path | None = None
+    _companions: dict[str, SourceFile | None] = field(default_factory=dict)
+
+    def repro_source(self, rel: str) -> SourceFile | None:
+        """Parse ``<repro_root>/<rel>`` lazily; None when unavailable.
+
+        When the file is already a lint target its parse (and its
+        suppression table) is shared, so findings raised against a
+        companion land on the same object the per-file checks use.
+        """
+        cached = self._companions.get(rel)
+        if cached is not None or rel in self._companions:
+            return cached
+        found: SourceFile | None = None
+        suffix = "repro/" + rel
+        for file in self.files:
+            if file.path.as_posix().endswith(suffix):
+                found = file
+                break
+        if found is None and self.repro_root is not None:
+            candidate = self.repro_root / rel
+            if candidate.is_file():
+                found = _load(candidate, str(candidate))
+        self._companions[rel] = found
+        return found
+
+
+def _detect_repro_root(files: list[SourceFile]) -> Path | None:
+    for file in files:
+        parts = file.path.resolve().parts
+        if "repro" in parts:
+            idx = parts.index("repro")
+            return Path(*parts[: idx + 1])
+    return None
+
+
+def _suppression_findings(file: SourceFile, known: set[str],
+                          ran: set[str]) -> Iterator[Finding]:
+    for sup in file.suppressions:
+        unknown = [c for c in sup.checks if c not in known]
+        if unknown:
+            yield Finding(
+                check="suppression", path=file.rel, line=sup.line, col=1,
+                message=(f"disable names unknown check(s) "
+                         f"{', '.join(sorted(unknown))}; "
+                         f"known: {', '.join(sorted(known))}"),
+            )
+        if not sup.reason:
+            yield Finding(
+                check="suppression", path=file.rel, line=sup.line, col=1,
+                message=("suppression without a reason; append "
+                         "'-- <why this violation is intentional>'"),
+            )
+        elif not sup.used and not unknown and ran.intersection(sup.checks):
+            yield Finding(
+                check="suppression", path=file.rel, line=sup.line, col=1,
+                message=(f"unused suppression for "
+                         f"{', '.join(sup.checks)}: nothing was "
+                         "flagged on this line; remove it"),
+                severity="warning",
+            )
+
+
+def run_lint(paths: Iterable[Path], *,
+             select: Iterable[str] | None = None,
+             repro_root: Path | None = None) -> list[Finding]:
+    """Run the selected checks over ``paths`` and return the findings.
+
+    ``select`` limits the run to a subset of :func:`check_names`;
+    ``repro_root`` overrides companion-source detection (tests point it
+    at synthetic trees).  Suppressed findings are dropped; defective or
+    unused suppressions are appended as ``suppression`` findings.
+    """
+    names = check_names() if select is None else tuple(select)
+    unknown = [n for n in names if n not in CHECKS]
+    if unknown:
+        raise LintError(
+            f"unknown check(s) {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(check_names())}"
+        )
+    root = Path.cwd()
+    files: list[SourceFile] = []
+    for path in collect_files(paths):
+        try:
+            rel = str(path.resolve().relative_to(root))
+        except ValueError:
+            rel = str(path)
+        files.append(_load(path, rel))
+    project = LintProject(files=files, repro_root=repro_root
+                          if repro_root is not None
+                          else _detect_repro_root(files))
+
+    by_rel = {file.rel: file for file in files}
+
+    def lookup(rel: str) -> SourceFile | None:
+        file = by_rel.get(rel)
+        if file is not None:
+            return file
+        for companion in project._companions.values():
+            if companion is not None and companion.rel == rel:
+                return companion
+        return None
+
+    findings: list[Finding] = []
+    for name in names:
+        for finding in CHECKS[name](project):
+            file = lookup(finding.path)
+            if file is not None and file.suppressed(name, finding.line):
+                continue
+            findings.append(finding)
+
+    for file in files:
+        findings.extend(
+            _suppression_findings(file, set(CHECKS), set(names)))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.check))
+    return findings

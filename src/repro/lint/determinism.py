@@ -1,0 +1,247 @@
+"""Determinism checks: RNG discipline and wall-clock bans.
+
+``rng``
+    Every engine, workload and scenario must draw randomness from an
+    explicitly *seeded* generator object (``random.Random(seed)`` or
+    ``numpy.random.default_rng(seed)``) that arrives as an argument or
+    is derived from a seed.  Module-level RNG state (``np.random.rand``,
+    ``random.random``, ``np.random.seed``) and unseeded constructors
+    are banned in ``src/``: they make ensemble sweeps irreproducible
+    and poison cross-engine bitwise conformance.
+
+``wall-clock``
+    Reading the wall clock (``time.time``, ``datetime.now``) is banned
+    everywhere — simulated time is the only time.  Monotonic timers
+    (``perf_counter``/``monotonic``) are additionally banned inside the
+    hot kernel/engine packages, where the only legitimate use is timing
+    *instrumentation* that must carry an explicit suppression with its
+    reason.  Iterating a freshly-built ``set`` is flagged in the same
+    packages: set iteration order is a hash-seed artefact, so any
+    behaviour derived from it is nondeterministic across processes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .core import Finding, LintProject, SourceFile, register
+
+__all__ = ["check_rng", "check_wall_clock"]
+
+#: numpy.random attributes that construct explicit generator objects —
+#: everything else on the module is global-state or a draw from it.
+_NP_RANDOM_ALLOWED = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+#: stdlib ``random`` attributes allowed: only the seedable instance
+#: class.  ``SystemRandom`` is OS entropy, i.e. never reproducible.
+_PY_RANDOM_ALLOWED = frozenset({"Random"})
+
+#: Wall-clock reads banned in every linted file.
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "time.ctime", "time.localtime",
+    "time.gmtime", "time.strftime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Monotonic timers: fine for instrumentation layers (runner, obs,
+#: analysis), banned by default in the hot simulation/kernel packages.
+_TIMERS = frozenset({
+    "time.perf_counter", "time.perf_counter_ns", "time.monotonic",
+    "time.monotonic_ns", "time.process_time", "time.process_time_ns",
+    "time.thread_time", "time.thread_time_ns",
+})
+
+#: Packages whose code runs inside the deterministic simulation core.
+_HOT_PACKAGES = (
+    "repro.core", "repro.fluid", "repro.kernels", "repro.simulation",
+    "repro.scenarios",
+)
+
+
+def import_table(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted import paths they are bound to.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy.random
+    import default_rng as rng`` maps ``rng -> numpy.random.default_rng``.
+    Later bindings win, which matches execution order closely enough
+    for lint purposes.
+    """
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                table[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                table[local] = f"{node.module}.{alias.name}"
+    return table
+
+
+def resolve(node: ast.expr, table: dict[str, str]) -> str | None:
+    """Resolve a ``Name``/``Attribute`` chain to its dotted import path."""
+    attrs: list[str] = []
+    while isinstance(node, ast.Attribute):
+        attrs.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = table.get(node.id)
+    if base is None:
+        return None
+    return ".".join([base, *reversed(attrs)])
+
+
+def _rng_file(file: SourceFile) -> Iterator[Finding]:
+    table = import_table(file.tree)
+    call_funcs = {
+        id(call.func): call
+        for call in ast.walk(file.tree)
+        if isinstance(call, ast.Call)
+    }
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.ImportFrom) and not node.level:
+            if node.module in ("random", "numpy.random"):
+                allowed = (_PY_RANDOM_ALLOWED if node.module == "random"
+                           else _NP_RANDOM_ALLOWED)
+                for alias in node.names:
+                    if alias.name not in allowed:
+                        yield Finding(
+                            check="rng", path=file.rel, line=node.lineno,
+                            col=node.col_offset + 1,
+                            message=(
+                                f"'from {node.module} import {alias.name}' "
+                                "pulls module-level RNG state; construct a "
+                                "seeded generator instead"),
+                        )
+            continue
+        if not isinstance(node, ast.Attribute):
+            continue
+        dotted = resolve(node, table)
+        if dotted is None:
+            continue
+        if dotted.startswith("numpy.random."):
+            tail = dotted.removeprefix("numpy.random.")
+            if tail.split(".", 1)[0] not in _NP_RANDOM_ALLOWED:
+                yield Finding(
+                    check="rng", path=file.rel, line=node.lineno,
+                    col=node.col_offset + 1,
+                    message=(f"{dotted} uses numpy's module-level RNG "
+                             "state; draw from an explicit seeded "
+                             "Generator argument instead"),
+                )
+                continue
+        elif dotted.startswith("random."):
+            tail = dotted.removeprefix("random.")
+            if tail.split(".", 1)[0] not in _PY_RANDOM_ALLOWED:
+                yield Finding(
+                    check="rng", path=file.rel, line=node.lineno,
+                    col=node.col_offset + 1,
+                    message=(f"{dotted} uses the shared module-level "
+                             "random state; use a seeded random.Random "
+                             "instance instead"),
+                )
+                continue
+        # Seeded-construction rule: the allowed constructors must be
+        # called with an explicit seed.
+        if dotted in ("numpy.random.default_rng", "random.Random"):
+            call = call_funcs.get(id(node))
+            if call is not None and not call.args and not call.keywords:
+                yield Finding(
+                    check="rng", path=file.rel, line=node.lineno,
+                    col=node.col_offset + 1,
+                    message=(f"{dotted}() without a seed is entropy-"
+                             "seeded; thread an explicit seed through"),
+                )
+    # ``from numpy.random import default_rng`` then ``default_rng()``:
+    # the func is a bare Name, which the Attribute walk cannot see.
+    for call in call_funcs.values():
+        if isinstance(call.func, ast.Name):
+            dotted = table.get(call.func.id)
+            if dotted in ("numpy.random.default_rng", "random.Random") \
+                    and not call.args and not call.keywords:
+                yield Finding(
+                    check="rng", path=file.rel, line=call.lineno,
+                    col=call.col_offset + 1,
+                    message=(f"{dotted}() without a seed is entropy-"
+                             "seeded; thread an explicit seed through"),
+                )
+
+
+@register("rng")
+def check_rng(project: LintProject) -> Iterator[Finding]:
+    """Ban module-level / unseeded RNG everywhere."""
+    for file in project.files:
+        yield from _rng_file(file)
+
+
+def _is_set_build(node: ast.expr, table: dict[str, str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset") \
+                and node.func.id not in table:
+            return True
+    return False
+
+
+def _wall_clock_file(file: SourceFile, hot: bool) -> Iterator[Finding]:
+    table = import_table(file.tree)
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Attribute):
+            dotted = resolve(node, table)
+            if dotted is None:
+                continue
+            if dotted in _WALL_CLOCK:
+                yield Finding(
+                    check="wall-clock", path=file.rel, line=node.lineno,
+                    col=node.col_offset + 1,
+                    message=(f"{dotted} reads the wall clock; simulated "
+                             "time is the only time in this repo"),
+                )
+            elif hot and dotted in _TIMERS:
+                yield Finding(
+                    check="wall-clock", path=file.rel, line=node.lineno,
+                    col=node.col_offset + 1,
+                    message=(f"{dotted} inside a hot kernel/engine "
+                             "package; if this is timing "
+                             "instrumentation, suppress with a reason"),
+                )
+        elif hot and isinstance(node, ast.For) \
+                and _is_set_build(node.iter, table):
+            yield Finding(
+                check="wall-clock", path=file.rel, line=node.lineno,
+                col=node.col_offset + 1,
+                message=("iterating a freshly-built set: iteration "
+                         "order is a hash-seed artefact; sort it or "
+                         "use a list/tuple"),
+            )
+    # ``from time import perf_counter`` style bindings.
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            dotted = table.get(node.id)
+            if dotted is None or "." not in dotted:
+                continue
+            if dotted in _WALL_CLOCK or (hot and dotted in _TIMERS):
+                yield Finding(
+                    check="wall-clock", path=file.rel, line=node.lineno,
+                    col=node.col_offset + 1,
+                    message=(f"{dotted} (imported by name) is banned "
+                             "here; simulated time is the only time"),
+                )
+
+
+@register("wall-clock")
+def check_wall_clock(project: LintProject) -> Iterator[Finding]:
+    """Ban nondeterminism sources in kernels and engines."""
+    for file in project.files:
+        hot = file.in_package(*_HOT_PACKAGES)
+        yield from _wall_clock_file(file, hot)

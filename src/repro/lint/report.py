@@ -1,0 +1,40 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .core import Finding
+
+__all__ = ["render_json", "render_text", "worst_severity"]
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """One ``path:line:col: [check] message`` line per finding."""
+    items = list(findings)
+    lines = [f.render() for f in items]
+    errors = sum(1 for f in items if f.severity == "error")
+    warnings = len(items) - errors
+    if items:
+        lines.append("")
+    lines.append(f"{errors} error(s), {warnings} warning(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """Stable JSON document (``{"findings": [...], "summary": {...}}``)."""
+    items = list(findings)
+    doc = {
+        "findings": [f.to_json_obj() for f in items],
+        "summary": {
+            "errors": sum(1 for f in items if f.severity == "error"),
+            "warnings": sum(1 for f in items if f.severity != "error"),
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def worst_severity(findings: Iterable[Finding]) -> int:
+    """Process exit code: 1 when any error-severity finding exists."""
+    return 1 if any(f.severity == "error" for f in findings) else 0

@@ -1,0 +1,235 @@
+"""``obs-vocab``: every obs name literal must be registered.
+
+The cross-engine conformance suite compares traces and metric
+registries by *name*: an event kind, span, counter or histogram that
+one engine spells differently is invisible to the comparison and rots
+the contract.  This check resolves every name literal passed to the
+:class:`repro.obs.Observability` surface (``event``/``span``/
+``add_span``/``count``/``inc``/``observe*``/``gauge``/``histogram``/
+``counter``/``emit_sign_switches``) against the registered vocabulary:
+
+* event kinds — the ``EVENT_KINDS`` frozenset literal in
+  ``repro/obs/trace.py``;
+* span/counter/histogram/gauge names — the literal registries in
+  ``repro/obs/vocab.py`` (exact names plus prefix/suffix rules for
+  dynamic tails such as per-engine histograms).
+
+Both registries are extracted from the AST of their defining files, so
+the check needs no imports and works on an un-importable tree.
+F-strings are matched as wildcard templates after folding same-module
+string constants (``f"{WARMUP_SPAN}.{tier}"`` checks the literal
+prefix); a template with no literal anchor is unverifiable and skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from .core import Finding, LintProject, SourceFile, register
+
+__all__ = ["ObsVocabulary", "check_obs_vocab", "load_vocabulary"]
+
+#: Observability method name -> vocabulary family.
+_METHOD_FAMILY = {
+    "event": "event",
+    "span": "span",
+    "add_span": "span",
+    "count": "counter",
+    "inc": "counter",
+    "counter": "counter",
+    "observe": "histogram",
+    "observe_many": "histogram",
+    "observe_array": "histogram",
+    "histogram": "histogram",
+    "gauge": "gauge",
+}
+
+
+@dataclass(frozen=True)
+class ObsVocabulary:
+    """Registered names per family, with prefix/suffix rules."""
+
+    events: frozenset[str]
+    names: dict[str, frozenset[str]]
+    prefixes: dict[str, tuple[str, ...]]
+    suffixes: dict[str, tuple[str, ...]]
+
+    def match_exact(self, family: str, name: str) -> bool:
+        if family == "event":
+            return name in self.events
+        if name in self.names.get(family, frozenset()):
+            return True
+        if any(name.startswith(p) and len(name) > len(p)
+               for p in self.prefixes.get(family, ())):
+            return True
+        return any(name.endswith(s) and len(name) > len(s)
+                   for s in self.suffixes.get(family, ()))
+
+    def match_template(self, family: str, head: str, tail: str) -> bool:
+        """Match a wildcard template by its literal head and tail."""
+        if family == "event":
+            return False  # event kinds are a closed set: no wildcards
+        for name in self.names.get(family, frozenset()):
+            if name.startswith(head) and name.endswith(tail):
+                return True
+        if any(head.startswith(p) for p in self.prefixes.get(family, ())):
+            return True
+        return any(tail.endswith(s) for s in self.suffixes.get(family, ()))
+
+
+def _literal_strings(tree: ast.Module, var: str) -> frozenset[str] | None:
+    """The string elements of a module-level tuple/set/frozenset literal."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None or not any(
+                isinstance(t, ast.Name) and t.id == var for t in targets):
+            continue
+        if isinstance(value, ast.Call) and len(value.args) == 1:
+            value = value.args[0]
+        if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            items = []
+            for elt in value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    items.append(elt.value)
+                else:
+                    return None
+            return frozenset(items)
+    return None
+
+
+def load_vocabulary(project: LintProject) -> ObsVocabulary | None:
+    """Extract the registries from the obs sources, or None if absent."""
+    trace = project.repro_source("obs/trace.py")
+    vocab = project.repro_source("obs/vocab.py")
+    if trace is None or vocab is None:
+        return None
+    events = _literal_strings(trace.tree, "EVENT_KINDS")
+    if events is None:
+        return None
+    names: dict[str, frozenset[str]] = {}
+    prefixes: dict[str, tuple[str, ...]] = {}
+    suffixes: dict[str, tuple[str, ...]] = {}
+    for family, stem in (("span", "SPAN"), ("counter", "COUNTER"),
+                         ("histogram", "HISTOGRAM"), ("gauge", "GAUGE")):
+        exact = _literal_strings(vocab.tree, f"{stem}_NAMES")
+        if exact is None:
+            return None
+        names[family] = exact
+        pre = _literal_strings(vocab.tree, f"{stem}_PREFIXES")
+        prefixes[family] = tuple(sorted(pre)) if pre is not None else ()
+        suf = _literal_strings(vocab.tree, f"{stem}_SUFFIXES")
+        suffixes[family] = tuple(sorted(suf)) if suf is not None else ()
+    return ObsVocabulary(events=events, names=names, prefixes=prefixes,
+                         suffixes=suffixes)
+
+
+def _module_constants(tree: ast.Module) -> dict[str, str]:
+    """Module-level ``NAME = "literal"`` bindings for f-string folding."""
+    out: dict[str, str] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and isinstance(node.value, ast.Constant) \
+                and isinstance(node.value.value, str):
+            out[node.targets[0].id] = node.value.value
+    return out
+
+
+def _templates(node: ast.expr, consts: dict[str, str]) -> list[str]:
+    """Render a name expression to wildcard templates, or [] if opaque.
+
+    A plain string renders to itself; an f-string renders each constant
+    part verbatim, folds module-level string constants, and turns every
+    other interpolation into ``*``.  Conditional expressions render
+    both arms.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [node.value]
+    if isinstance(node, ast.IfExp):
+        return _templates(node.body, consts) + _templates(node.orelse, consts)
+    if isinstance(node, ast.JoinedStr):
+        parts: list[str] = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant) and isinstance(piece.value, str):
+                parts.append(piece.value)
+            elif isinstance(piece, ast.FormattedValue) \
+                    and isinstance(piece.value, ast.Name) \
+                    and piece.value.id in consts:
+                parts.append(consts[piece.value.id])
+            else:
+                parts.append("*")
+        return ["".join(parts)]
+    return []
+
+
+def _check_name(file: SourceFile, vocab: ObsVocabulary, family: str,
+                node: ast.expr, consts: dict[str, str]) -> Iterator[Finding]:
+    for template in _templates(node, consts):
+        if "*" not in template:
+            if not vocab.match_exact(family, template):
+                yield Finding(
+                    check="obs-vocab", path=file.rel, line=node.lineno,
+                    col=node.col_offset + 1,
+                    message=(f"{family} name {template!r} is not in the "
+                             "registered obs vocabulary "
+                             "(repro/obs/vocab.py, EVENT_KINDS)"),
+                )
+            continue
+        head = template.split("*", 1)[0]
+        tail = template.rsplit("*", 1)[1]
+        if not head and not tail:
+            continue  # fully dynamic: statically unverifiable
+        if not vocab.match_template(family, head, tail):
+            yield Finding(
+                check="obs-vocab", path=file.rel, line=node.lineno,
+                col=node.col_offset + 1,
+                message=(f"dynamic {family} name {template!r} matches no "
+                         "registered vocabulary rule "
+                         "(repro/obs/vocab.py)"),
+            )
+
+
+def _vocab_file(file: SourceFile, vocab: ObsVocabulary) -> Iterator[Finding]:
+    consts = _module_constants(file.tree)
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            family = _METHOD_FAMILY.get(func.attr)
+            if family is not None and node.args:
+                yield from _check_name(file, vocab, family, node.args[0],
+                                       consts)
+        elif isinstance(func, ast.Name) and func.id == "emit_sign_switches":
+            for keyword in node.keywords:
+                if keyword.arg == "kind":
+                    yield from _check_name(file, vocab, "event",
+                                           keyword.value, consts)
+
+
+@register("obs-vocab")
+def check_obs_vocab(project: LintProject) -> Iterator[Finding]:
+    """Resolve every obs name literal against the registered vocabulary."""
+    vocab = load_vocabulary(project)
+    if vocab is None:
+        # Warn only when there is a repro tree whose registries we
+        # failed to read; linting unrelated files is not an error.
+        if project.files and project.repro_root is not None:
+            first = project.files[0]
+            yield Finding(
+                check="obs-vocab", path=first.rel, line=1, col=1,
+                message=("cannot locate the obs vocabulary sources "
+                         "(repro/obs/trace.py, repro/obs/vocab.py); "
+                         "obs name literals were not checked"),
+                severity="warning",
+            )
+        return
+    for file in project.files:
+        yield from _vocab_file(file, vocab)

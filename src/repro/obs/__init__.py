@@ -26,6 +26,15 @@ from .trace import (
     read_trace,
     write_trace,
 )
+from .vocab import (
+    COUNTER_NAMES,
+    HISTOGRAM_NAMES,
+    SPAN_NAMES,
+    registered_counter,
+    registered_gauge,
+    registered_histogram,
+    registered_span,
+)
 
 __all__ = [
     "Observability",
@@ -47,4 +56,11 @@ __all__ = [
     "TraceSink",
     "read_trace",
     "write_trace",
+    "SPAN_NAMES",
+    "COUNTER_NAMES",
+    "HISTOGRAM_NAMES",
+    "registered_span",
+    "registered_counter",
+    "registered_histogram",
+    "registered_gauge",
 ]

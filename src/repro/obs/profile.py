@@ -20,7 +20,7 @@ re-exports it for backwards compatibility.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..viz.series import format_table
 

@@ -19,7 +19,7 @@ test suite checks).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, fields, replace
 
 from ..core.parameters import BCNParams
 

@@ -31,7 +31,7 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Callable
 
 __all__ = ["Event", "Simulator", "CalendarSimulator", "make_simulator"]
 

@@ -381,7 +381,7 @@ class MultiHopNetwork:
         if duration <= 0:
             raise ValueError("duration must be positive")
         import time as _time
-        wall_start = _time.monotonic() if self.obs is not None else 0.0
+        wall_start = _time.monotonic() if self.obs is not None else 0.0  # repro-lint: disable=wall-clock -- obs run-span wall-time
         for t_event, _, fn in sorted(
             self._timed_events, key=lambda ev: ev[:2]
         ):
@@ -397,7 +397,7 @@ class MultiHopNetwork:
         if self.obs is not None:
             from ..obs import emit_sign_switches
             self.obs.add_span(f"{self._obs_engine}.multihop.run",
-                              _time.monotonic() - wall_start)
+                              _time.monotonic() - wall_start)  # repro-lint: disable=wall-clock -- obs run-span wall-time
             for edge, port in self.ports.items():
                 hist = port.sigma_history
                 emit_sign_switches(self.obs, [h[0] for h in hist],

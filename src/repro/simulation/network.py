@@ -13,7 +13,7 @@ peak queue), ready to be compared against the fluid model.
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -934,7 +934,7 @@ class BCNNetworkSimulator:
         """Run the scenario for ``duration`` seconds of simulated time."""
         if duration <= 0:
             raise ValueError("duration must be positive")
-        wall_start = _time.monotonic() if self.obs is not None else 0.0
+        wall_start = _time.monotonic() if self.obs is not None else 0.0  # repro-lint: disable=wall-clock -- obs run-span wall-time
         if self.engine == "batched":
             self._run_batched(duration)
         elif self.engine == "compiled":
@@ -968,7 +968,7 @@ class BCNNetworkSimulator:
             from ..obs import emit_sign_switches
             engine_tag = f"packet.{self.engine}"
             self.obs.add_span(f"{engine_tag}.run",
-                              _time.monotonic() - wall_start)
+                              _time.monotonic() - wall_start)  # repro-lint: disable=wall-clock -- obs run-span wall-time
             # The control law is evaluated at sample instants only, so
             # region membership is known exactly there: a sign change of
             # the sampled sigma is a region switch in either engine.

@@ -33,7 +33,6 @@ import numpy as np
 
 from .engine import Simulator
 from .frames import BCNMessage, EthernetFrame, PauseFrame
-from .link import Link
 
 __all__ = ["RateRegulator", "TrafficSource", "expected_message_interval"]
 

@@ -9,7 +9,7 @@ a paced source per spec.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["FlowSpec"]
 

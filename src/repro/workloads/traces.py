@@ -11,7 +11,6 @@ the multi-hop simulator.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass, field
 

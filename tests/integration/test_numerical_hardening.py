@@ -4,7 +4,6 @@ Each test pits two unrelated computations of the same quantity against
 each other — the strongest correctness evidence the library can give.
 """
 
-import math
 
 import numpy as np
 import pytest

@@ -4,9 +4,7 @@ Wire-format round-trips, trace-generator statistics, design-calculator
 tightness and the Lyapunov decay law, over randomised inputs.
 """
 
-import math
 
-import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 

@@ -7,7 +7,6 @@ exact first-round excursions, node-decrease cases never overshoot, and
 the return map contracts.
 """
 
-import math
 
 import pytest
 from hypothesis import assume, given, settings

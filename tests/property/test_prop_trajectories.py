@@ -13,7 +13,7 @@ import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
-from repro.core.eigen import FixedPointType, eigenstructure
+from repro.core.eigen import eigenstructure
 from repro.core.parameters import NormalizedParams
 from repro.core.phase_plane import PhasePlaneAnalyzer
 from repro.core.trajectories import linear_trajectory

@@ -1,0 +1,17 @@
+"""Fixture: every statement here violates the ``rng`` check."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+from random import randint  # noqa: F401  (import itself is the violation)
+
+
+def draws():
+    a = np.random.rand(3)
+    b = random.random()
+    np.random.seed(0)
+    c = default_rng()
+    d = np.random.default_rng()
+    e = random.Random()
+    return a, b, c, d, e

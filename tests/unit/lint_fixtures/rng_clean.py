@@ -1,0 +1,13 @@
+"""Fixture: seeded-generator discipline the ``rng`` check must accept."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draws(seed):
+    rng = np.random.default_rng(seed)
+    alt = default_rng(np.random.SeedSequence(seed))
+    pr = random.Random(seed)
+    return rng.random(), alt.random(), pr.random()

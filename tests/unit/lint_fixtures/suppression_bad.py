@@ -1,0 +1,11 @@
+"""Fixture: defective suppressions the meta-check must flag."""
+
+import time
+
+
+def stamps():
+    a = time.time()  # repro-lint: disable=wall-clock
+    b = 1  # repro-lint: disable=no-such-check -- the check name is a typo
+    c = 2  # repro-lint: disable=rng -- nothing here draws randomness
+    inert = 'text mentioning # repro-lint: disable=rng stays inert'
+    return a, b, c, inert

@@ -1,0 +1,20 @@
+"""Fixture: wall-clock and nondeterminism sites the check must flag.
+
+Fixture files sit outside the ``repro`` package, so the hot-package
+timer rules apply in full.
+"""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamps():
+    a = time.time()
+    b = datetime.now()
+    c = time.perf_counter()
+    d = perf_counter()
+    total = 0
+    for item in {3, 1, 2}:
+        total += item
+    return a, b, c, d, total

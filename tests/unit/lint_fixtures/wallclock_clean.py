@@ -1,0 +1,14 @@
+"""Fixture: timer usage the ``wall-clock`` check must accept."""
+
+import time
+
+
+def timed(xs):
+    started = time.perf_counter()  # repro-lint: disable=wall-clock -- fixture: instrumented span
+    total = 0
+    for x in sorted({1, 2, 3}):
+        total += x
+    for x in xs:
+        total += x
+    elapsed = time.perf_counter() - started  # repro-lint: disable=wall-clock -- fixture: instrumented span
+    return total, elapsed

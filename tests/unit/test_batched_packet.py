@@ -7,7 +7,6 @@ sigma values, same drop/forward counters.  The reference oracle here is
 the event-driven switch itself, fed the identical arrival train.
 """
 
-import math
 
 import numpy as np
 import pytest

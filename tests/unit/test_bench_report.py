@@ -6,7 +6,7 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parents[2]
 sys.path.insert(0, str(ROOT / "tools"))
 
-from bench_report import build_report  # noqa: E402
+from bench_report import build_report, main, validate_report  # noqa: E402
 
 
 def _bench(name, mean, *, workload=None, engine=None, **extra):
@@ -135,3 +135,79 @@ class TestMerging:
     def test_single_dict_still_accepted(self):
         report = build_report(_raw(_bench("solo", 1.0)))
         assert set(report["kernels"]) == {"solo"}
+
+
+class TestValidate:
+    def _report(self):
+        return build_report(_raw(
+            _bench("a", 1.0, workload="w", engine="batch",
+                   event_counts={"bcn": 3}),
+            _bench("b", 5.0, workload="w", engine="reference"),
+            _bench("c", 1.0, workload="w",
+                   obs_overhead={"baseline_s": 1.0, "obs_enabled_s": 1.2}),
+        ))
+
+    def test_generated_report_is_schema_clean(self):
+        assert validate_report(self._report()) == []
+
+    def test_committed_reports_are_schema_clean(self):
+        import json
+
+        for path in sorted(ROOT.glob("BENCH_*.json")):
+            doc = json.loads(path.read_text())
+            assert validate_report(doc, label=path.name) == []
+
+    def test_missing_keys_and_bad_types(self):
+        assert validate_report([]) == ["report: top level must be a "
+                                       "JSON object"]
+        problems = validate_report({"generated_by": "elsewhere"})
+        assert any("missing required key" in p for p in problems)
+
+    def test_speedup_drift_is_flagged(self):
+        doc = self._report()
+        doc["speedups"]["w"]["speedup"] = 2.0  # truth is 5.0
+        problems = validate_report(doc)
+        assert any("drifted from reference_s/batch_s" in p
+                   for p in problems)
+
+    def test_unknown_engine_tag_and_event_kind(self):
+        doc = self._report()
+        doc["speedups"]["w"]["fast_engine"] = "warp"
+        doc["events"]["w"]["batch"] = {"not_a_kind": 1}
+        problems = validate_report(doc)
+        assert any("fast_engine 'warp'" in p for p in problems)
+        assert any("unknown event kind 'not_a_kind'" in p
+                   for p in problems)
+
+    def test_overhead_drift_is_flagged(self):
+        doc = self._report()
+        doc["overheads"]["w"]["obs_enabled_overhead"] = 0.0
+        problems = validate_report(doc)
+        assert any("obs_enabled_overhead" in p and "drifted" in p
+                   for p in problems)
+
+    def test_legacy_reports_without_new_fields_pass(self):
+        doc = self._report()
+        for entry in doc["kernels"].values():
+            entry["min_s"] = None
+        del doc["speedups"]["w"]["fast_engine"]
+        del doc["events"]
+        del doc["overheads"]
+        assert validate_report(doc) == []
+
+    def test_cli_validate_mode(self, tmp_path, capsys):
+        import json
+
+        good = tmp_path / "BENCH_good.json"
+        good.write_text(json.dumps(self._report()))
+        assert main(["--validate", str(good)]) == 0
+        assert "ok (" in capsys.readouterr().out
+
+        bad_doc = self._report()
+        bad_doc["speedups"]["w"]["speedup"] = 123.0
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps(bad_doc))
+        assert main(["--validate", str(bad)]) == 1
+        assert "drifted" in capsys.readouterr().err
+
+        assert main(["--validate", str(tmp_path / "missing.json")]) == 1

@@ -1,6 +1,5 @@
 """Unit tests for the fluid substrate (repro.fluid)."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Unit tests for the Lyapunov/energy analysis (repro.core.lyapunov)."""
 
-import math
 
 import numpy as np
 import pytest

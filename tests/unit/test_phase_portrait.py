@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.phase_portrait import (
-    PhasePortrait,
     phase_portrait,
     vector_field_grid,
 )

@@ -1,7 +1,6 @@
 """Unit tests for the content-addressed result cache (repro.runner.cache)."""
 
 import numpy as np
-import pytest
 
 from repro.core.parameters import BCNParams
 from repro.runner import ResultCache, canonical_key

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.parameters import BCNParams
 from repro.scenarios import (
     CapacityChange,
     FlowArrival,

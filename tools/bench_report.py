@@ -46,6 +46,19 @@ any workload's ``obs_disabled`` variant exceeds the baseline by more
 than that fraction — how the CI ``bench`` job fails on a regression
 while absorbing shared-runner noise (the committed report itself is
 regenerated on quiet hardware).
+
+``--validate`` flips the tool into schema-check mode: the positional
+arguments are then committed ``BENCH_*.json`` reports, each checked
+against the schema this script declares (required keys, value types,
+engine tags, derived-figure consistency, event kinds against
+``repro.obs.EVENT_KINDS`` when importable)::
+
+    python tools/bench_report.py --validate BENCH_*.json
+
+This is the CI guard against hand-edited or stale reports: a committed
+report whose ``speedup`` no longer matches ``reference_s / batch_s``,
+or that records an unknown engine tag or event kind, fails the lint
+job rather than silently mis-documenting the perf trajectory.
 """
 
 from __future__ import annotations
@@ -148,6 +161,181 @@ def build_report(raws: dict | list[dict]) -> dict:
     }
 
 
+#: Required numeric fields of every ``kernels`` entry.
+_KERNEL_FIELDS = ("mean_s", "min_s", "stddev_s", "rounds")
+
+#: Required fields of every ``speedups`` entry.
+_SPEEDUP_FIELDS = ("batch_s", "fast_engine", "reference_s", "speedup")
+
+#: Relative tolerance for derived figures recorded in a report.
+_DERIVED_RTOL = 1e-6
+
+
+def _event_kinds() -> frozenset[str] | None:
+    """The registered event-kind vocabulary, or None off-tree."""
+    try:
+        from repro.obs.trace import EVENT_KINDS
+    except ImportError:
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+        try:
+            from repro.obs.trace import EVENT_KINDS
+        except ImportError:
+            return None
+    return EVENT_KINDS
+
+
+def _drifted(recorded: float, expected: float) -> bool:
+    return abs(recorded - expected) > _DERIVED_RTOL * max(
+        abs(recorded), abs(expected), 1e-12)
+
+
+def validate_report(doc: object, label: str = "report") -> list[str]:
+    """Check one committed report against the declared schema.
+
+    Returns human-readable problem strings (empty when the report is
+    schema-clean and internally consistent).
+    """
+    problems: list[str] = []
+
+    def err(message: str) -> None:
+        problems.append(f"{label}: {message}")
+
+    if not isinstance(doc, dict):
+        return [f"{label}: top level must be a JSON object"]
+    # events/overheads arrived later; reports generated before those
+    # sections existed stay valid with them absent.
+    for key in ("generated_by", "kernels", "speedups"):
+        if key not in doc:
+            err(f"missing required key {key!r}")
+    if problems:
+        return problems
+    if doc["generated_by"] != "tools/bench_report.py":
+        err(f"generated_by is {doc['generated_by']!r}, not this tool")
+
+    kernels = doc["kernels"]
+    if not isinstance(kernels, dict):
+        err("kernels must be an object")
+        kernels = {}
+    for name, entry in kernels.items():
+        if not isinstance(entry, dict):
+            err(f"kernels[{name!r}] must be an object")
+            continue
+        for field in _KERNEL_FIELDS:
+            value = entry.get(field)
+            # min_s arrived after the first committed reports; absent
+            # or null stays valid there.
+            if value is None and field == "min_s":
+                continue
+            if not isinstance(value, (int, float)) or value < 0:
+                err(f"kernels[{name!r}].{field} must be a non-negative "
+                    f"number, got {value!r}")
+        if not isinstance(entry.get("extra_info"), dict):
+            err(f"kernels[{name!r}].extra_info must be an object")
+
+    speedups = doc["speedups"]
+    if not isinstance(speedups, dict):
+        err("speedups must be an object")
+        speedups = {}
+    for workload, row in speedups.items():
+        if not isinstance(row, dict):
+            err(f"speedups[{workload!r}] must be an object")
+            continue
+        # fast_engine arrived after the first committed reports; the
+        # legacy rows implicitly gated batch vs reference.
+        missing = [f for f in _SPEEDUP_FIELDS
+                   if f not in row and f != "fast_engine"]
+        if missing:
+            err(f"speedups[{workload!r}] missing {', '.join(missing)}")
+            continue
+        if "fast_engine" in row and row["fast_engine"] not in _FAST_ENGINES:
+            err(f"speedups[{workload!r}].fast_engine "
+                f"{row['fast_engine']!r} is not one of "
+                f"{', '.join(_FAST_ENGINES)}")
+        batch_s, reference_s = row["batch_s"], row["reference_s"]
+        if not (isinstance(batch_s, (int, float)) and batch_s > 0
+                and isinstance(reference_s, (int, float))
+                and reference_s > 0):
+            err(f"speedups[{workload!r}] wall times must be positive "
+                "numbers")
+            continue
+        if _drifted(row["speedup"], reference_s / batch_s):
+            err(f"speedups[{workload!r}].speedup {row['speedup']:.6g} "
+                f"drifted from reference_s/batch_s = "
+                f"{reference_s / batch_s:.6g}; regenerate the report")
+
+    events = doc.get("events", {})
+    kinds = _event_kinds()
+    if not isinstance(events, dict):
+        err("events must be an object")
+        events = {}
+    for workload, engines in events.items():
+        if not isinstance(engines, dict):
+            err(f"events[{workload!r}] must be an object")
+            continue
+        for engine, counts in engines.items():
+            if not isinstance(counts, dict):
+                err(f"events[{workload!r}][{engine!r}] must be an object")
+                continue
+            for kind, count in counts.items():
+                if not isinstance(count, int) or count < 0:
+                    err(f"events[{workload!r}][{engine!r}][{kind!r}] "
+                        f"must be a non-negative integer, got {count!r}")
+                if kinds is not None and kind not in kinds:
+                    err(f"events[{workload!r}][{engine!r}] records "
+                        f"unknown event kind {kind!r} (not in "
+                        "repro.obs.EVENT_KINDS)")
+
+    overheads = doc.get("overheads", {})
+    if not isinstance(overheads, dict):
+        err("overheads must be an object")
+        overheads = {}
+    for workload, row in overheads.items():
+        if not isinstance(row, dict):
+            err(f"overheads[{workload!r}] must be an object")
+            continue
+        baseline = row.get("baseline_s")
+        if not isinstance(baseline, (int, float)) or baseline <= 0:
+            err(f"overheads[{workload!r}].baseline_s must be a positive "
+                f"number, got {baseline!r}")
+            continue
+        for key, wall in row.items():
+            if key == "baseline_s" or not key.endswith("_s"):
+                continue
+            overhead_key = f"{key[:-2]}_overhead"
+            if overhead_key not in row:
+                err(f"overheads[{workload!r}] has {key} but no "
+                    f"{overhead_key}")
+                continue
+            if _drifted(row[overhead_key], wall / baseline - 1.0):
+                err(f"overheads[{workload!r}].{overhead_key} "
+                    f"{row[overhead_key]:.6g} drifted from "
+                    f"{key}/baseline_s - 1 = {wall / baseline - 1.0:.6g}; "
+                    "regenerate the report")
+
+    return problems
+
+
+def _cmd_validate(paths: list[Path]) -> int:
+    failed = False
+    for path in paths:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable: {exc}", file=sys.stderr)
+            failed = True
+            continue
+        problems = validate_report(doc, label=str(path))
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        if problems:
+            failed = True
+        else:
+            n = len(doc.get("kernels", {}))
+            print(f"{path}: ok ({n} kernel entries, "
+                  f"{len(doc.get('speedups', {}))} gated workloads)")
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("raw", type=Path, nargs="+",
@@ -162,7 +350,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail when any workload's obs_disabled "
                              "variant exceeds the baseline by more than "
                              "this fraction (e.g. 0.02 for 2%%)")
+    parser.add_argument("--validate", action="store_true",
+                        help="treat the positional arguments as "
+                             "committed BENCH_*.json reports and check "
+                             "them against the declared schema")
     args = parser.parse_args(argv)
+
+    if args.validate:
+        return _cmd_validate(args.raw)
 
     report = build_report([json.loads(p.read_text()) for p in args.raw])
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
