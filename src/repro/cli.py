@@ -15,6 +15,11 @@ Commands
 ``experiments``
     Run the paper-reproduction experiments (same as
     ``python -m repro.experiments``).
+``fabric``
+    Run a fabric-scale multi-hop workload (fat-tree or DCell,
+    permutation traffic) on the serial or sharded engine
+    (``--shards``/``--workers``, :mod:`repro.shard`) and report
+    throughput, queueing and wall time.
 ``scenario``
     List the named heavy-traffic scenario presets, or run one (incast,
     churn, outages, time-varying capacity) on either packet engine —
@@ -313,6 +318,79 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .simulation.multihop import MultiHopNetwork, PortConfig
+    from .topology import dcell, fat_tree
+    from .topology import hosts as fabric_hosts
+    from .workloads.generators import permutation
+
+    engine = _resolve_packet_engine(args.engine)
+    if args.topology == "fat-tree":
+        graph = fat_tree(args.k, capacity=args.capacity)
+    else:
+        graph = dcell(args.k, args.level, capacity=args.capacity)
+    hs = fabric_hosts(graph)
+    flows = permutation(hs, demand=args.demand, rounds=args.rounds)
+    frame_bits = 1500 * 8
+    config = PortConfig(q0=args.q0_frames * frame_bits,
+                        buffer_bits=args.buffer_frames * frame_bits)
+
+    shards: int | str | None = None
+    if args.shards is not None:
+        shards = "auto" if args.shards == "auto" else int(args.shards)
+
+    obs = None
+    if args.obs:
+        from .obs import Observability
+
+        obs = Observability()
+    net = MultiHopNetwork(
+        graph, flows, config,
+        propagation_delay=args.delay,
+        engine=engine,
+        shards=shards,
+        workers=args.workers,
+        obs=obs,
+    )
+    mode = "serial"
+    if net.sharded:
+        mode = (f"{net._plan.n_shards} shards, "
+                f"lookahead {1e6 * net._plan.lookahead:g} us")
+    wall_start = _time.perf_counter()
+    result = net.run(args.duration)
+    wall = _time.perf_counter() - wall_start
+
+    delivered = sum(result.per_flow_delivered_bits.values())
+    hottest = result.hottest_port()
+    rows = [
+        ["topology", f"{args.topology} ({len(hs)} hosts)"],
+        ["flows", len(flows)],
+        ["ports", len(net._port_edges)],
+        ["engine", engine],
+        ["mode", mode],
+        ["delivered (Gbit)", delivered / 1e9],
+        ["aggregate throughput (Gbit/s)", delivered / args.duration / 1e9],
+        ["drops", result.dropped_frames],
+        ["negative BCN", result.bcn_negative],
+        ["positive BCN", result.bcn_positive],
+        ["PAUSE frames", result.pauses],
+        ["hottest port", f"{hottest[0]}->{hottest[1]} "
+                         f"({float(result.port_queues[hottest].max()):.3g} bits)"],
+        ["wall time (s)", wall],
+    ]
+    print(format_table(["metric", "value"], rows))
+    if obs is not None:
+        # Shard metrics/spans merge commutatively into this handle;
+        # per-event traces stay in the workers, so show the registries.
+        print()
+        print(obs.profiler.summary_table())
+        print()
+        print(obs.metrics.summary_table())
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.__main__ import main as experiments_main
 
@@ -444,6 +522,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_scen.add_argument("--plot", action="store_true",
                         help="ASCII-plot the queue trajectory")
     p_scen.set_defaults(func=_cmd_scenario)
+
+    p_fabric = sub.add_parser(
+        "fabric",
+        help="run a fabric-scale workload on the serial or sharded engine")
+    p_fabric.add_argument("--topology", default="fat-tree",
+                          choices=["fat-tree", "dcell"])
+    p_fabric.add_argument("--k", type=int, default=4,
+                          help="fat-tree arity / DCell cell size")
+    p_fabric.add_argument("--level", type=int, default=1,
+                          help="DCell recursion level")
+    p_fabric.add_argument("--capacity", type=float, default=10e9,
+                          help="link capacity in bits/s")
+    p_fabric.add_argument("--rounds", type=int, default=2,
+                          help="permutation rounds (flows per host)")
+    p_fabric.add_argument("--demand", type=float, default=1e9,
+                          help="per-flow demand in bits/s")
+    p_fabric.add_argument("--duration", type=float, default=2e-3,
+                          help="simulated horizon in seconds")
+    p_fabric.add_argument("--delay", type=float, default=1e-6,
+                          help="per-hop propagation delay in seconds "
+                               "(sets the sharded lookahead window)")
+    p_fabric.add_argument("--q0-frames", type=float, default=8,
+                          help="per-port BCN reference queue, in frames")
+    p_fabric.add_argument("--buffer-frames", type=float, default=150,
+                          help="per-port buffer, in frames")
+    p_fabric.add_argument("--engine", default="reference",
+                          choices=["reference", "batched", "compiled"],
+                          help="event kernel (per shard when sharded)")
+    p_fabric.add_argument("--shards", default=None, metavar="N|auto",
+                          help="partition into N shards ('auto' = one "
+                               "per worker); omit for the serial engine")
+    p_fabric.add_argument("--workers", type=int, default=None,
+                          help="worker processes hosting the shards")
+    p_fabric.add_argument("--obs", action="store_true",
+                          help="run under observability and print its summary")
+    p_fabric.set_defaults(func=_cmd_fabric)
 
     p_exp = sub.add_parser("experiments", help="run paper reproductions")
     p_exp.add_argument("ids", nargs="*")

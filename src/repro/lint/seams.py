@@ -42,10 +42,14 @@ _FLUID_ENGINES = frozenset({"reference", "batch"})
 #: simulate_fluid_batch's kernel selector.
 _FLUID_METHODS = frozenset({"numpy", "compiled", "auto"})
 
+#: The sharded-fabric selector: ``shards=`` takes integers, None, or
+#: this one literal (``MultiHopNetwork`` / ``repro.shard``).
+_SHARDS_LITERALS = frozenset({"auto"})
+
 #: Seam keyword names that are safe to validate as *call keywords* too.
 #: ``engine=`` is excluded there: obs records reuse the keyword for
 #: engine *tags* ("packet.reference"), a different vocabulary.
-_KEYWORD_SEAMS = ("fluid_method", "fluid_engine")
+_KEYWORD_SEAMS = ("fluid_method", "fluid_engine", "shards")
 
 #: Engine selectors the obs layer tags records with, per family.  The
 #: fluid family includes ``compiled`` (the CLI-level name for the
@@ -66,6 +70,7 @@ def seam_registries(project: LintProject) -> dict[str, frozenset[str]]:
         "engine": packet,
         "fluid_engine": _FLUID_ENGINES,
         "fluid_method": _FLUID_METHODS,
+        "shards": _SHARDS_LITERALS,
     }
 
 

@@ -46,6 +46,7 @@ SPAN_NAMES = (
     "runner.sweep",            # repro.runner.parallel: one sweep's wall
     "fluid.reference.simulate",  # solve_ivp reference integrator
     "fluid.batch.kernel",      # batch RK4 kernel (numpy and compiled)
+    "shard.window",            # repro.shard.runtime: one conservative window
 )
 
 #: Span-name prefixes with a dynamic tail.
@@ -66,6 +67,9 @@ COUNTER_NAMES = (
     "runner.kernel_seconds",
     "runner.worker.points",
     "runner.worker.kernel_seconds",
+    "shard.windows",           # repro.shard.coordinator: barrier count
+    "shard.msgs.sent",         # repro.shard.runtime: cross-shard messages out
+    "shard.msgs.recv",         # repro.shard.runtime: cross-shard messages in
 )
 
 #: Counter-name prefixes with a dynamic tail.

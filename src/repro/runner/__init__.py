@@ -16,7 +16,11 @@ layer on top of them:
   statistics and explicit invalidation;
 * :class:`RunnerStats` — per-point wall-time, cache hit-rate and
   worker-utilisation instrumentation, rendered as a summary table and
-  surfaced in ``ExperimentResult.notes``.
+  surfaced in ``ExperimentResult.notes``;
+* :class:`PersistentWorkerPool` — long-lived worker processes hosting
+  named per-worker actors (build state once, step it thousands of
+  times), the substrate of the sharded fabric engine
+  (:mod:`repro.shard`).
 
 Exposed on the CLI as ``python -m repro experiments --parallel
 --workers N --cache-dir DIR`` (``--no-cache`` disables a configured
@@ -29,12 +33,15 @@ from .cache import CacheStats, ResultCache, canonical_key
 from .executor import run_experiments
 from .instrumentation import PointTiming, RunnerStats
 from .parallel import resolve_workers, run_sweep_parallel
+from .pool import PersistentWorkerPool, WorkerError
 
 __all__ = [
     "CacheStats",
+    "PersistentWorkerPool",
     "PointTiming",
     "ResultCache",
     "RunnerStats",
+    "WorkerError",
     "canonical_key",
     "resolve_workers",
     "run_experiments",

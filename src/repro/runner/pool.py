@@ -1,0 +1,174 @@
+"""A persistent worker pool hosting long-lived per-worker state.
+
+:class:`~concurrent.futures.ProcessPoolExecutor` (used by
+:mod:`repro.runner.parallel`) is built for one-shot task submission:
+every task re-pickles its inputs and no state survives between tasks.
+The sharded fabric engine (:mod:`repro.shard`) needs the opposite — a
+worker builds a shard's entire simulation state *once* and then
+receives thousands of tiny window-step commands against it.
+
+:class:`PersistentWorkerPool` provides exactly that: ``n_workers``
+processes, each running a command loop over a duplex pipe and hosting
+named **actors** (arbitrary objects built in-worker from a picklable
+factory).  Calls are explicitly pipelined: :meth:`call` only sends the
+command, :meth:`result` collects the reply, so a coordinator can issue
+one command to every worker and then gather — a single barrier round
+trip per window instead of ``n_workers`` sequential ones.
+
+Failures in a worker are caught there and re-raised in the parent as
+:class:`WorkerError` carrying the remote traceback text.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+from typing import Any, Callable
+
+__all__ = ["PersistentWorkerPool", "WorkerError"]
+
+
+class WorkerError(RuntimeError):
+    """An exception raised inside a pool worker, with remote traceback."""
+
+    def __init__(self, worker: int, remote_traceback: str) -> None:
+        super().__init__(
+            f"worker {worker} raised:\n{remote_traceback}"
+        )
+        self.worker = worker
+        self.remote_traceback = remote_traceback
+
+
+def _worker_main(conn) -> None:
+    """Command loop run inside each worker process.
+
+    Commands are tuples; the first element selects the operation:
+
+    * ``("create", name, factory, args, kwargs)`` — build an actor;
+    * ``("call", name, method, args, kwargs)`` — invoke a method on it;
+    * ``("stop",)`` — acknowledge and exit.
+
+    Every command is answered with ``("ok", value)`` or ``("err",
+    traceback_text)`` in command order, preserving the parent's
+    pipelining contract.
+    """
+    actors: dict[str, Any] = {}
+    while True:
+        command = conn.recv()
+        op = command[0]
+        if op == "stop":
+            conn.send(("ok", None))
+            break
+        try:
+            if op == "create":
+                _, name, factory, args, kwargs = command
+                actors[name] = factory(*args, **kwargs)
+                conn.send(("ok", None))
+            elif op == "call":
+                _, name, method, args, kwargs = command
+                value = getattr(actors[name], method)(*args, **kwargs)
+                conn.send(("ok", value))
+            else:
+                raise ValueError(f"unknown pool command {op!r}")
+        except BaseException:
+            conn.send(("err", traceback.format_exc()))
+
+
+class PersistentWorkerPool:
+    """``n_workers`` processes hosting named actors across many calls.
+
+    Use as a context manager; :meth:`close` shuts the workers down and
+    joins them.  All factories, methods arguments and return values
+    must be picklable; factories and actor classes must be importable
+    (module-level) in the worker.
+    """
+
+    def __init__(self, n_workers: int, *, mp_context: str | None = None) -> None:
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        ctx = mp.get_context(mp_context)
+        self._workers: list = []
+        self._conns: list = []
+        self._inflight = [0] * n_workers
+        self._closed = False
+        for _ in range(n_workers):
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_worker_main, args=(child_conn,), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append(process)
+            self._conns.append(parent_conn)
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    # -- pipelined command interface ---------------------------------------
+
+    def create(self, worker: int, name: str, factory: Callable,
+               *args: Any, **kwargs: Any) -> None:
+        """Build ``factory(*args, **kwargs)`` as actor ``name`` (pipelined)."""
+        self._send(worker, ("create", name, factory, args, kwargs))
+
+    def call(self, worker: int, name: str, method: str,
+             *args: Any, **kwargs: Any) -> None:
+        """Invoke ``name.method(*args, **kwargs)`` in ``worker`` (pipelined)."""
+        self._send(worker, ("call", name, method, args, kwargs))
+
+    def result(self, worker: int) -> Any:
+        """Collect the oldest outstanding reply from ``worker``.
+
+        Raises :class:`WorkerError` when the remote command failed.
+        """
+        if self._inflight[worker] <= 0:
+            raise RuntimeError(f"no outstanding command on worker {worker}")
+        status, value = self._conns[worker].recv()
+        self._inflight[worker] -= 1
+        if status == "err":
+            raise WorkerError(worker, value)
+        return value
+
+    def call_sync(self, worker: int, name: str, method: str,
+                  *args: Any, **kwargs: Any) -> Any:
+        """Convenience: :meth:`call` then :meth:`result` immediately."""
+        self.call(worker, name, method, *args, **kwargs)
+        return self.result(worker)
+
+    def _send(self, worker: int, command: tuple) -> None:
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        self._conns[worker].send(command)
+        self._inflight[worker] += 1
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker, drain outstanding replies and join."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker, conn in enumerate(self._conns):
+            try:
+                # Drain replies the caller abandoned (e.g. on error).
+                while self._inflight[worker] > 0:
+                    conn.recv()
+                    self._inflight[worker] -= 1
+                conn.send(("stop",))
+                conn.recv()
+            except (EOFError, BrokenPipeError, OSError):
+                pass
+            finally:
+                conn.close()
+        for process in self._workers:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join()
+
+    def __enter__(self) -> "PersistentWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

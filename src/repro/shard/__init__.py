@@ -1,0 +1,30 @@
+"""Sharded fabric simulation — conservative parallel multi-hop engine.
+
+Partitions a topology into shards (:mod:`repro.topology.partition`),
+builds one event kernel per shard (:mod:`.runtime`) inside the
+persistent runner pool (:class:`repro.runner.PersistentWorkerPool`),
+and advances all shards in lockstep conservative windows sized from
+the minimum cross-shard link latency (:mod:`.plan`), exchanging
+frames, BCN feedback and PAUSE as batched message buffers at every
+window barrier (:mod:`.coordinator`).
+
+The public seam is ``MultiHopNetwork(..., shards=..., workers=...)``;
+this package is the machinery behind it.  Results are bitwise
+identical for any worker count, and identical to the serial engine for
+one shard.
+"""
+
+from __future__ import annotations
+
+from .coordinator import run_sharded
+from .plan import ShardPlan, build_plan, resolve_shards
+from .runtime import RemoteLink, ShardRuntime
+
+__all__ = [
+    "RemoteLink",
+    "ShardPlan",
+    "ShardRuntime",
+    "build_plan",
+    "resolve_shards",
+    "run_sharded",
+]

@@ -14,6 +14,12 @@ upstream with the head-of-line blocking the paper's Section I
 criticises (the victim-flow experiment M1 measures it); pass
 ``hop_level_pause=False`` for the simpler source-directed PAUSE.
 
+Large fabrics can run **sharded**: ``shards=`` partitions the topology
+(:func:`repro.topology.partition_graph`), one event kernel per shard
+advances in conservative lookahead windows, and ``workers=`` processes
+host the shards (:mod:`repro.shard`).  Results are independent of the
+worker count; a single shard reproduces the serial engine bitwise.
+
 Simplification relative to a full switch implementation (documented
 here per the reproduction rules): one rate regulator per source reacts
 to BCN from *any* congestion point on its path (the draft instantiates
@@ -24,20 +30,23 @@ slow down at least as much as the draft requires).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
+from functools import partial
 
 import networkx as nx
 import numpy as np
 
 from ..topology.routing import ecmp_route, route_edges
 from ..workloads.flows import FlowSpec
-from .engine import CalendarSimulator, Simulator
+from .engine import CalendarSimulator, Simulator, make_simulator
 from .frames import EthernetFrame
 from .link import Link
+from .network import PACKET_ENGINES
 from .source import RateRegulator, TrafficSource
 from .switch import CoreSwitch
 
-__all__ = ["PortConfig", "MultiHopResult", "MultiHopNetwork"]
+__all__ = ["PortConfig", "MultiHopResult", "MultiHopNetwork", "QueueRecorder"]
 
 
 @dataclass(frozen=True)
@@ -99,6 +108,53 @@ class MultiHopResult:
         return float(np.sum(r)) ** 2 / (r.size * float(np.sum(r * r)))
 
 
+class QueueRecorder:
+    """Per-port queue sampler writing into preallocated numpy storage.
+
+    Replaces the per-sample ``list.append`` per port (and the final
+    list -> array conversions) with one ``(n_ports, n_samples)`` float
+    array grown geometrically, so long runs with many ports sample in
+    O(ports) scalar stores and O(1) amortised allocations.
+    """
+
+    __slots__ = ("_sim", "_ports", "_times", "_samples", "_n")
+
+    def __init__(self, sim, ports: dict[tuple[str, str], CoreSwitch],
+                 expected_samples: int) -> None:
+        self._sim = sim
+        self._ports = list(ports.items())
+        capacity = max(int(expected_samples), 4)
+        self._times = np.empty(capacity, dtype=float)
+        self._samples = np.empty((len(self._ports), capacity), dtype=float)
+        self._n = 0
+
+    def record(self) -> None:
+        n = self._n
+        if n == self._times.shape[0]:
+            self._times = np.concatenate(
+                [self._times, np.empty_like(self._times)]
+            )
+            self._samples = np.concatenate(
+                [self._samples, np.empty_like(self._samples)], axis=1
+            )
+        self._times[n] = self._sim.now
+        samples = self._samples
+        for row, (_, port) in enumerate(self._ports):
+            samples[row, n] = port.queue_bits
+        self._n = n + 1
+
+    def times(self) -> np.ndarray:
+        """Sample timestamps (a copy trimmed to the recorded length)."""
+        return self._times[: self._n].copy()
+
+    def queues(self) -> dict[tuple[str, str], np.ndarray]:
+        """Per-port sample rows, trimmed and copied."""
+        return {
+            edge: self._samples[row, : self._n].copy()
+            for row, (edge, _) in enumerate(self._ports)
+        }
+
+
 class MultiHopNetwork:
     """Instantiate and run a BCN fabric for a workload.
 
@@ -118,10 +174,27 @@ class MultiHopNetwork:
         ``"reference"`` runs on the binary-heap event kernel;
         ``"batched"`` swaps in the calendar-queue kernel
         (:class:`~repro.simulation.engine.CalendarSimulator`) with
-        slots sized to one frame service time at the fastest port.
-        Event ordering — and therefore every result — is identical
-        between the two; frame-train batching itself currently applies
-        to the single-bottleneck dumbbell only.
+        slots sized to one frame service time at the fastest port;
+        ``"compiled"`` uses the calendar queue with compiled slot scans
+        (:func:`~repro.simulation.engine.make_simulator`), degrading to
+        the plain calendar without a compiled backend.  Event ordering
+        — and therefore every result — is identical across the three;
+        frame-train batching itself currently applies to the
+        single-bottleneck dumbbell only.
+    shards:
+        ``None`` (default) runs the serial single-kernel engine.  An
+        integer or ``"auto"`` runs the conservative sharded engine of
+        :mod:`repro.shard`: the graph is partitioned into that many
+        regions, each with its own ``engine`` kernel, synchronized in
+        windows of one cross-shard propagation delay.  Requires a
+        positive ``propagation_delay``.
+    workers:
+        Worker processes hosting the shards (``None`` = all CPUs,
+        capped at the shard count; ``1`` steps every shard inline in
+        this process).  The result never depends on this value.
+    partition:
+        Optional pinned :class:`~repro.topology.Partition`; defaults to
+        :func:`~repro.topology.partition_graph` over the graph.
     """
 
     def __init__(
@@ -135,12 +208,17 @@ class MultiHopNetwork:
         queue_sample_interval: float | None = None,
         hop_level_pause: bool = True,
         engine: str = "reference",
+        shards: int | str | None = None,
+        workers: int | None = None,
+        partition=None,
         obs=None,
     ) -> None:
         if not flows:
             raise ValueError("need at least one flow")
-        if engine not in ("reference", "batched"):
-            raise ValueError(f"unknown packet engine {engine!r}")
+        if engine not in PACKET_ENGINES:
+            raise ValueError(
+                f"unknown packet engine {engine!r}; pick from {PACKET_ENGINES}"
+            )
         self.graph = graph
         self.config = port_config
         self.frame_bits = frame_bits
@@ -149,17 +227,6 @@ class MultiHopNetwork:
         # Set before any port is created: _make_port attaches the handle.
         self.obs = obs if (obs is not None and obs.enabled) else None
         self._obs_engine = f"packet.{engine}"
-        if engine == "batched":
-            fastest = max(
-                (data["capacity"] for _, _, data in graph.edges(data=True)
-                 if "capacity" in data),
-                default=1e9,
-            )
-            self.sim: Simulator = CalendarSimulator(
-                slot_width=frame_bits / fastest, n_slots=4096
-            )
-        else:
-            self.sim = Simulator()
 
         self.routes: dict[int, list[str]] = {}
         for spec in flows:
@@ -170,61 +237,126 @@ class MultiHopNetwork:
             )
             self.routes[spec.flow_id] = route
 
-        # Instantiate one port per directed switch-output edge in use.
-        self.ports: dict[tuple[str, str], CoreSwitch] = {}
+        # Directed switch-output edges in use, in first-traversal order
+        # (= port instantiation order, serial and sharded alike).
+        self._port_edges: list[tuple[str, str]] = []
+        seen_edges: set[tuple[str, str]] = set()
         for spec in flows:
             for u, v in route_edges(self.routes[spec.flow_id]):
                 if u == self.routes[spec.flow_id][0]:
                     continue  # host NIC: pacing models the first hop
-                if (u, v) not in self.ports:
-                    self.ports[(u, v)] = self._make_port(u, v)
-
+                if (u, v) not in seen_edges:
+                    seen_edges.add((u, v))
+                    self._port_edges.append((u, v))
+        self._port_edge_set = seen_edges
         self.flows = flows
         self._specs = {spec.flow_id: spec for spec in flows}
-        self._finish_times: dict[int, float] = {}
+        #: (flow, node) -> hop index; O(1) forwarding instead of a
+        #: per-frame route scan.
+        self._hop_index = {
+            fid: {node: i for i, node in enumerate(route)}
+            for fid, route in self.routes.items()
+        }
         self.hop_level_pause = hop_level_pause
+
+        if queue_sample_interval is None:
+            slowest_port = min(
+                (graph.edges[e]["capacity"] for e in self._port_edges),
+                default=1e9,
+            )
+            queue_sample_interval = 50 * frame_bits / slowest_port
+        self._queue_dt = queue_sample_interval
+
+        #: Declarative timed events ``(t, seq, kind, payload)`` injected
+        #: by the scenario layer.  ``seq`` is a monotonic registration
+        #: counter: ties at one timestamp fire in registration order on
+        #: every engine (serial heap, calendar, and each shard kernel).
+        self._timed_events: list[tuple[float, int, str, tuple]] = []
+        self._event_seq = itertools.count()
+
+        self._plan = None
+        self._workers = workers
+        if shards is not None:
+            from ..shard import build_plan, resolve_shards
+
+            n_shards = (
+                partition.n_shards
+                if (partition is not None and shards == "auto")
+                else resolve_shards(shards, graph, workers)
+            )
+            self._plan = build_plan(
+                graph, flows, port_config,
+                n_shards=n_shards,
+                frame_bits=frame_bits,
+                delay=propagation_delay,
+                hop_level_pause=hop_level_pause,
+                engine=engine,
+                queue_dt=self._queue_dt,
+                partition=partition,
+                routes=self.routes,
+            )
+            # The sharded engine builds ports/sources inside its shard
+            # runtimes; the serial attributes stay empty.
+            self.sim: Simulator | None = None
+            self.ports: dict[tuple[str, str], CoreSwitch] = {}
+            self.sources: dict[int, TrafficSource] = {}
+            self._finish_times: dict[int, float] = {}
+            self._delivered: dict[int, float] = {}
+            return
+
+        if engine == "batched" or engine == "compiled":
+            fastest = max(
+                (data["capacity"] for _, _, data in graph.edges(data=True)
+                 if "capacity" in data),
+                default=1e9,
+            )
+            slot = frame_bits / fastest
+            if engine == "compiled":
+                self.sim = make_simulator("compiled", slot_width=slot,
+                                          n_slots=4096)
+            else:
+                self.sim = CalendarSimulator(slot_width=slot, n_slots=4096)
+        else:
+            self.sim = Simulator()
+
+        # Instantiate one port per directed switch-output edge in use.
+        self.ports = {}
+        for u, v in self._port_edges:
+            self.ports[(u, v)] = self._make_port(u, v)
+
+        self._finish_times = {}
         self._pause_wired: set[tuple[tuple[str, str], tuple[str, str]]] = set()
         #: per-hop forward links, built once per edge instead of one
         #: throwaway Link allocation per forwarded frame
         self._fwd_links: dict[tuple[str, str], Link] = {}
-        self.sources: dict[int, TrafficSource] = {}
-        self._delivered: dict[int, float] = {spec.flow_id: 0.0 for spec in flows}
+        self.sources = {}
+        self._delivered = {spec.flow_id: 0.0 for spec in flows}
         for spec in flows:
             self.sources[spec.flow_id] = self._make_source(spec)
 
-        if queue_sample_interval is None:
-            slowest_port = min(
-                (p.capacity for p in self.ports.values()), default=1e9
-            )
-            queue_sample_interval = 50 * frame_bits / slowest_port
-        self._queue_dt = queue_sample_interval
-        self._port_samples: dict[tuple[str, str], list[float]] = {
-            e: [] for e in self.ports
-        }
-        self._sample_times: list[float] = []
-        #: Timed events ``(t, seq, fn)`` injected by the scenario layer;
-        #: both multihop engines replay the same heap, so a single
-        #: callback-based implementation serves reference and batched.
-        self._timed_events: list[tuple[float, int, object]] = []
+        self._recorder: QueueRecorder | None = None
+
+    @property
+    def sharded(self) -> bool:
+        """Whether this network runs on the sharded engine."""
+        return self._plan is not None
 
     # -- scenario hooks ----------------------------------------------------
 
-    def _register_event(self, t: float, fn) -> None:
+    def _register_event(self, t: float, kind: str, payload: tuple) -> None:
         if t < 0:
             raise ValueError("event time cannot be negative")
-        self._timed_events.append((t, len(self._timed_events), fn))
+        self._timed_events.append((t, next(self._event_seq), kind, payload))
 
     def schedule_capacity(
         self, t: float, port: tuple[str, str], capacity: float
     ) -> None:
         """At time ``t`` change one port's service rate (C(t) events)."""
-        if port not in self.ports:
+        if port not in self._port_edge_set:
             raise ValueError(f"no instantiated port {port!r}")
         if capacity <= 0:
             raise ValueError("capacity must be positive")
-        self._register_event(
-            t, lambda: self.ports[port].set_capacity(capacity)
-        )
+        self._register_event(t, "capacity", (port, capacity))
 
     def schedule_outage(
         self, t: float, outage_duration: float,
@@ -237,25 +369,29 @@ class MultiHopNetwork:
         """
         if outage_duration <= 0:
             raise ValueError("outage_duration must be positive")
-        targets = [port] if port is not None else None
-        if port is not None and port not in self.ports:
+        if port is not None and port not in self._port_edge_set:
             raise ValueError(f"no instantiated port {port!r}")
-
-        def apply() -> None:
-            until = self.sim.now + outage_duration
-            edges = targets if targets is not None else list(self.ports)
-            for edge in edges:
-                self.ports[edge].suspend_service(until)
-
-        self._register_event(t, apply)
+        self._register_event(t, "outage", (outage_duration, port))
 
     def schedule_departure(self, t: float, flow_id: int) -> None:
         """At time ``t`` mute flow ``flow_id`` permanently."""
-        if flow_id not in self.sources:
+        if flow_id not in self._specs:
             raise ValueError(f"unknown flow {flow_id!r}")
-        self._register_event(
-            t, lambda: setattr(self.sources[flow_id], "muted", True)
-        )
+        self._register_event(t, "departure", (flow_id,))
+
+    def _apply_event(self, kind: str, payload: tuple) -> None:
+        if kind == "capacity":
+            self.ports[payload[0]].set_capacity(payload[1])
+        elif kind == "outage":
+            outage_duration, port = payload
+            until = self.sim.now + outage_duration
+            edges = [port] if port is not None else list(self.ports)
+            for edge in edges:
+                self.ports[edge].suspend_service(until)
+        elif kind == "departure":
+            self.sources[payload[0]].muted = True
+        else:  # pragma: no cover - _register_event controls the kinds
+            raise ValueError(f"unknown timed event kind {kind!r}")
 
     # -- construction -----------------------------------------------------
 
@@ -352,7 +488,7 @@ class MultiHopNetwork:
 
     def _forward(self, frame: EthernetFrame, at_node: str) -> None:
         route = self.routes[frame.flow_id]
-        idx = route.index(at_node)
+        idx = self._hop_index[frame.flow_id][at_node]
         if idx == len(route) - 1:
             self._record_delivery(frame.flow_id, frame.size_bits)
             return
@@ -371,28 +507,39 @@ class MultiHopNetwork:
 
     # -- driving -----------------------------------------------------------
 
-    def _record(self) -> None:
-        self._sample_times.append(self.sim.now)
-        for edge, port in self.ports.items():
-            self._port_samples[edge].append(port.queue_bits)
-
     def run(self, duration: float) -> MultiHopResult:
         """Run the fabric for ``duration`` seconds."""
         if duration <= 0:
             raise ValueError("duration must be positive")
+        if self._plan is not None:
+            from ..shard import run_sharded
+
+            return run_sharded(
+                self._plan, duration,
+                workers=self._workers,
+                timed_events=self._timed_events,
+                obs=self.obs,
+            )
         import time as _time
         wall_start = _time.monotonic() if self.obs is not None else 0.0  # repro-lint: disable=wall-clock -- obs run-span wall-time
-        for t_event, _, fn in sorted(
+        for t_event, _, kind, payload in sorted(
             self._timed_events, key=lambda ev: ev[:2]
         ):
-            self.sim.schedule_at(t_event, fn)
+            self.sim.schedule_at(t_event, partial(self._apply_event, kind,
+                                                  payload))
         for spec in self.flows:
             source = self.sources[spec.flow_id]
             self.sim.schedule_at(spec.start_time, source.start)
-        self._record()
-        self.sim.schedule_every(self._queue_dt, self._record, until=duration)
+        recorder = QueueRecorder(
+            self.sim, self.ports, int(duration / self._queue_dt) + 3
+        )
+        self._recorder = recorder
+        recorder.record()
+        self.sim.schedule_every(self._queue_dt, recorder.record,
+                                until=duration)
         self.sim.run(until=duration)
-        self._record()
+        recorder.record()
+        port_queues = recorder.queues()
 
         if self.obs is not None:
             from ..obs import emit_sign_switches
@@ -404,18 +551,15 @@ class MultiHopNetwork:
                                    [h[1] for h in hist],
                                    engine=self._obs_engine, node=port.cpid)
                 self.obs.observe_queue(
-                    self._obs_engine,
-                    np.asarray(self._port_samples[edge], dtype=float),
+                    self._obs_engine, port_queues[edge],
                     self.config.buffer_bits, self.config.q0)
 
         return MultiHopResult(
             duration=duration,
             per_flow_delivered_bits=dict(self._delivered),
             per_flow_rate={fid: src.rate for fid, src in self.sources.items()},
-            port_queues={
-                e: np.array(samples) for e, samples in self._port_samples.items()
-            },
-            port_queue_times=np.array(self._sample_times),
+            port_queues=port_queues,
+            port_queue_times=recorder.times(),
             dropped_frames=sum(
                 p.queue.dropped_frames for p in self.ports.values()
             ),

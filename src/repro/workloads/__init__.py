@@ -8,6 +8,7 @@ from .generators import (
     incast,
     on_off,
     parallel_io,
+    permutation,
     poisson_short_flows,
     shuffle,
     staggered,
@@ -20,6 +21,7 @@ __all__ = [
     "parallel_io",
     "staggered",
     "shuffle",
+    "permutation",
     "on_off",
     "poisson_short_flows",
     "OnOffSchedule",

@@ -35,7 +35,7 @@ import random
 from .flows import FlowSpec
 
 __all__ = ["homogeneous", "incast", "parallel_io", "staggered", "on_off",
-           "shuffle", "poisson_short_flows", "OnOffSchedule"]
+           "shuffle", "poisson_short_flows", "permutation", "OnOffSchedule"]
 
 
 def homogeneous(
@@ -137,6 +137,39 @@ def staggered(
         )
         for i, s in enumerate(sources)
     ]
+
+
+def permutation(
+    hosts: list[str],
+    *,
+    demand: float,
+    rounds: int = 1,
+    start_time: float = 0.0,
+) -> list[FlowSpec]:
+    """Fabric-wide permutation traffic: ``rounds`` shifted pairings.
+
+    Round ``r`` (0-based) sends host ``i`` to host ``(i + r + 1) mod
+    n`` — every host sources and sinks exactly ``rounds`` long-lived
+    flows, spreading load across the whole fabric core without the
+    ``n^2`` blow-up of :func:`shuffle`.  Deterministic; the standard
+    workload for fabric-scale engine benchmarks.
+    """
+    n = len(hosts)
+    if n < 2:
+        raise ValueError("permutation needs at least two hosts")
+    if not 1 <= rounds < n:
+        raise ValueError(f"rounds must lie in [1, {n - 1}], got {rounds}")
+    flows = []
+    fid = 0
+    for r in range(rounds):
+        for i in range(n):
+            flows.append(
+                FlowSpec(flow_id=fid, src=hosts[i],
+                         dst=hosts[(i + r + 1) % n],
+                         start_time=start_time, demand=demand)
+            )
+            fid += 1
+    return flows
 
 
 def shuffle(

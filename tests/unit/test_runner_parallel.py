@@ -135,3 +135,76 @@ class TestInstrumentation:
         assert "work units" in table and "worker utilization" in table
         notes = stats.notes()
         assert any("runner:" in line for line in notes)
+
+
+# -- persistent worker pool (repro.runner.pool) ----------------------------
+
+
+class Accumulator:
+    """Module-level actor class so pool workers can unpickle it."""
+
+    def __init__(self, start=0):
+        self.total = start
+
+    def add(self, x):
+        self.total += x
+        return self.total
+
+    def boom(self):
+        raise RuntimeError("remote failure")
+
+
+class TestPersistentWorkerPool:
+    def test_actors_keep_state_across_calls(self):
+        from repro.runner.pool import PersistentWorkerPool
+
+        with PersistentWorkerPool(2) as pool:
+            pool.create(0, "acc", Accumulator, 10)
+            pool.result(0)
+            assert pool.call_sync(0, "acc", "add", 5) == 15
+            assert pool.call_sync(0, "acc", "add", 5) == 20
+
+    def test_pipelined_calls_reply_in_order(self):
+        from repro.runner.pool import PersistentWorkerPool
+
+        with PersistentWorkerPool(1) as pool:
+            pool.create(0, "acc", Accumulator)
+            pool.result(0)
+            for x in (1, 2, 3):
+                pool.call(0, "acc", "add", x)
+            assert [pool.result(0) for _ in range(3)] == [1, 3, 6]
+
+    def test_remote_exception_surfaces_as_worker_error(self):
+        from repro.runner.pool import PersistentWorkerPool, WorkerError
+
+        with PersistentWorkerPool(1) as pool:
+            pool.create(0, "acc", Accumulator)
+            pool.result(0)
+            with pytest.raises(WorkerError) as exc_info:
+                pool.call_sync(0, "acc", "boom")
+            assert exc_info.value.worker == 0
+            assert "remote failure" in exc_info.value.remote_traceback
+            # the worker survives its own exception
+            assert pool.call_sync(0, "acc", "add", 1) == 1
+
+    def test_result_without_command_is_an_error(self):
+        from repro.runner.pool import PersistentWorkerPool
+
+        with PersistentWorkerPool(1) as pool:
+            with pytest.raises(RuntimeError, match="no outstanding"):
+                pool.result(0)
+
+    def test_closed_pool_rejects_commands(self):
+        from repro.runner.pool import PersistentWorkerPool
+
+        pool = PersistentWorkerPool(1)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.create(0, "acc", Accumulator)
+
+    def test_rejects_zero_workers(self):
+        from repro.runner.pool import PersistentWorkerPool
+
+        with pytest.raises(ValueError):
+            PersistentWorkerPool(0)

@@ -73,7 +73,7 @@ __all__ = ["build_report", "main"]
 #: engine tags paired against "reference" for the speedup/gate section
 #: (listed fastest-first: when a workload carries several fast rows the
 #: earliest present tag is the one gated)
-_FAST_ENGINES = ("compiled", "batch", "batched")
+_FAST_ENGINES = ("sharded", "compiled", "batch", "batched")
 
 
 def _kernel_entry(bench: dict) -> dict:
