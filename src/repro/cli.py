@@ -35,6 +35,14 @@ Commands
     Run the repo-specific static analysis suite (RNG discipline,
     wall-clock bans, kernel-tier parity, obs vocabulary, engine-seam
     totality) over ``src/repro`` or the given paths.
+``serve``
+    Run the asyncio job server (:mod:`repro.serve`): accepts
+    experiment/scenario/sweep jobs over newline-delimited JSON,
+    dedups against the shared result cache, streams progress, and
+    drains gracefully on SIGTERM.
+``submit``
+    Submit one job to a running server; waits for (or watches) it and
+    prints the result envelope as JSON.
 
 Examples
 --------
@@ -437,6 +445,85 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return worst_severity(findings)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .serve.server import JobServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        spool_dir=args.spool_dir,
+        workers=args.workers or 0,
+        max_concurrent=args.max_concurrent,
+        max_retries=args.max_retries,
+    )
+
+    async def _amain() -> int:
+        server = JobServer(config)
+        await server.start()
+        server.install_signal_handlers()
+        # One parseable line so wrappers (and the e2e test) learn the
+        # bound port when --port 0 picked an ephemeral one.
+        print(json.dumps({"listening": {"host": config.host,
+                                        "port": server.port}}), flush=True)
+        await server.run()
+        counters = server.obs.metrics.snapshot().get("counters", {})
+        done = {k: v for k, v in sorted(counters.items())
+                if k.startswith("serve.")}
+        print(f"drained: {json.dumps(done)}", file=sys.stderr)
+        return 0
+
+    return asyncio.run(_amain())
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve.client import ServeClient, ServeError
+
+    try:
+        payload = json.loads(args.job)
+    except ValueError as exc:
+        print(f"repro submit: job is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with ServeClient(args.host, args.port, timeout=args.timeout) as client:
+            if args.watch:
+                def on_event(event: dict) -> None:
+                    print(json.dumps(event.get("record", event)), flush=True)
+
+                end = client.submit_and_watch(payload, on_event)
+                if end.get("state") != "done":
+                    print(f"repro submit: job ended {end.get('state')}"
+                          + (f": {end['failure']}" if end.get("failure")
+                             else ""),
+                          file=sys.stderr)
+                    return 1
+                print(json.dumps(client.result(end["key"]), sort_keys=True))
+                return 0
+            if args.no_wait:
+                response = client.submit(payload)
+                print(json.dumps(
+                    {k: response[k] for k in ("key", "state", "dedup")
+                     if k in response}, sort_keys=True))
+                return 0
+            response = client.submit(payload, wait=True)
+            if response.get("state") != "done":
+                print(f"repro submit: job ended {response.get('state')}"
+                      + (f": {response['failure']}"
+                         if response.get("failure") else ""),
+                      file=sys.stderr)
+                return 1
+            print(json.dumps(response["result"], sort_keys=True))
+            return 0
+    except (ServeError, OSError) as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.reporting import run_reproduction_report
 
@@ -587,6 +674,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--list-checks", action="store_true",
                         help="list registered check names and exit")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the asyncio job server over the runner")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="listening port (0 = ephemeral; the bound "
+                              "port is printed as a JSON line on stdout)")
+    p_serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="shared content-addressed result cache "
+                              "(enables warm starts and cross-server dedup)")
+    p_serve.add_argument("--spool-dir", metavar="DIR", default=None,
+                         help="progress streams + drain requeue file "
+                              "(default: CACHE_DIR/spool, else a tempdir)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="process-pool size per job (default: inline)")
+    p_serve.add_argument("--max-concurrent", type=int, default=2,
+                         help="jobs executing at once")
+    p_serve.add_argument("--max-retries", type=int, default=1,
+                         help="extra attempts after a worker fault")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one job to a running server")
+    p_submit.add_argument("job", metavar="JOB_JSON",
+                          help="job payload, e.g. '{\"kind\": \"scenario\", "
+                               "\"preset\": \"baseline-bcn\", \"seed\": 1}'")
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, required=True)
+    p_submit.add_argument("--timeout", type=float, default=300.0,
+                          help="socket timeout in seconds")
+    p_submit.add_argument("--watch", action="store_true",
+                          help="stream progress events while waiting")
+    p_submit.add_argument("--no-wait", action="store_true",
+                          help="submit and print the job key immediately")
+    p_submit.set_defaults(func=_cmd_submit)
 
     p_report = sub.add_parser(
         "report", help="run all experiments into a markdown report")

@@ -46,10 +46,15 @@ _FLUID_METHODS = frozenset({"numpy", "compiled", "auto"})
 #: this one literal (``MultiHopNetwork`` / ``repro.shard``).
 _SHARDS_LITERALS = frozenset({"auto"})
 
+#: The job-server request selector (``repro.serve``): every submitted
+#: job names one of these kinds, and server-side dispatch on a
+#: ``job_kind`` variable must stay total as kinds are added.
+_JOB_KINDS = frozenset({"experiment", "scenario", "sweep"})
+
 #: Seam keyword names that are safe to validate as *call keywords* too.
 #: ``engine=`` is excluded there: obs records reuse the keyword for
 #: engine *tags* ("packet.reference"), a different vocabulary.
-_KEYWORD_SEAMS = ("fluid_method", "fluid_engine", "shards")
+_KEYWORD_SEAMS = ("fluid_method", "fluid_engine", "shards", "job_kind")
 
 #: Engine selectors the obs layer tags records with, per family.  The
 #: fluid family includes ``compiled`` (the CLI-level name for the
@@ -71,6 +76,7 @@ def seam_registries(project: LintProject) -> dict[str, frozenset[str]]:
         "fluid_engine": _FLUID_ENGINES,
         "fluid_method": _FLUID_METHODS,
         "shards": _SHARDS_LITERALS,
+        "job_kind": _JOB_KINDS,
     }
 
 

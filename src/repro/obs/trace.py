@@ -51,6 +51,17 @@ EVENT_KINDS = frozenset({
     "link_down",       # outage begins (value = outage duration)
     "link_up",         # outage ends
     "capacity_change",  # C(t) transition (value = new capacity)
+    # Job-server lifecycle events (additive in schema v1): emitted by
+    # repro.serve with engine="serve" and node=<job key>, streamed live
+    # to subscribed clients as the per-job JSONL progress sink.  ``t``
+    # is seconds since the job was accepted (monotonic delta — the
+    # serve layer has no simulated clock of its own).
+    "job_queued",      # job accepted and queued (value = queue depth)
+    "job_started",     # execution began (value = attempt number)
+    "job_progress",    # one work unit finished (value = units done)
+    "job_finished",    # terminal success (value = compute wall seconds)
+    "job_failed",      # terminal failure (detail = error text)
+    "job_retried",     # attempt failed, job re-queued for another try
 })
 
 

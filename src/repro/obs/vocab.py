@@ -47,6 +47,8 @@ SPAN_NAMES = (
     "fluid.reference.simulate",  # solve_ivp reference integrator
     "fluid.batch.kernel",      # batch RK4 kernel (numpy and compiled)
     "shard.window",            # repro.shard.runtime: one conservative window
+    "serve.job",               # repro.serve.server: one job's compute wall
+    "serve.drain",             # repro.serve.server: drain-to-quiesce wall
 )
 
 #: Span-name prefixes with a dynamic tail.
@@ -70,6 +72,16 @@ COUNTER_NAMES = (
     "shard.windows",           # repro.shard.coordinator: barrier count
     "shard.msgs.sent",         # repro.shard.runtime: cross-shard messages out
     "shard.msgs.recv",         # repro.shard.runtime: cross-shard messages in
+    "serve.connections",       # repro.serve.server: client connections seen
+    "serve.requests",          # protocol requests handled (all ops)
+    "serve.submitted",         # submit ops accepted (incl. deduplicated)
+    "serve.dedup.inflight",    # submissions attached to a running job
+    "serve.dedup.cache",       # submissions served from the result cache
+    "serve.computed",          # jobs that actually executed (unique work)
+    "serve.completed",         # jobs reaching the done state
+    "serve.failed",            # jobs reaching the failed state
+    "serve.retried",           # attempts retried after a WorkerError
+    "serve.requeued",          # queued jobs written to the requeue file
 )
 
 #: Counter-name prefixes with a dynamic tail.
@@ -81,6 +93,7 @@ COUNTER_PREFIXES = (
 HISTOGRAM_NAMES = (
     "runner.point_wall_seconds",
     "runner.worker.point_wall_seconds",
+    "serve.job_wall_seconds",  # repro.serve.server: per-job compute wall
 )
 
 #: Histogram-name prefixes with a dynamic engine tail.

@@ -17,10 +17,30 @@ Values are stored with :mod:`pickle` (records carry numpy arrays and
 ``<dir>/<experiment id>/<key>.pkl``, written atomically.  A corrupted or
 unreadable entry is treated as a miss — the file is removed and the
 caller recomputes; the cache never raises on load.
+
+Concurrent writers
+------------------
+The directory may be shared by many processes (the job server, several
+CLI runs, pool workers).  Two mechanisms keep that safe:
+
+* **atomic stores** — :meth:`ResultCache.put` writes to a same-directory
+  temp file and ``os.replace``\\ s it over the entry, so readers only
+  ever see absent or complete pickles, and the last concurrent writer
+  of the *same* key wins with an identical value (keys are
+  content-addressed, so racing writers computed the same thing);
+* **in-flight claims** — :meth:`ResultCache.try_claim` hard-links a
+  fully-written ``<key>.claim`` file into place (link fails when one
+  exists, like ``O_EXCL``) so cooperating processes can
+  elect one computer per key instead of duplicating work.  A claim
+  whose owner pid is dead is stolen (best effort) so a crashed worker
+  cannot wedge a key forever.  Claims are an *advisory* dedup
+  optimisation: correctness never depends on holding one, because
+  stores stay atomic and idempotent regardless.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
@@ -184,6 +204,95 @@ class ResultCache:
             raise
         self.stats.stores += 1
         return path
+
+    # -- in-flight claims ---------------------------------------------------
+
+    def claim_path(self, experiment_id: str, params: Any) -> Path:
+        """On-disk location of the entry's in-flight claim marker."""
+        return self.path(experiment_id, params).with_suffix(".claim")
+
+    def try_claim(self, experiment_id: str, params: Any) -> bool:
+        """Attempt to claim the in-flight computation of one entry.
+
+        Returns True when this process now owns the claim (and must
+        :meth:`release_claim` or :meth:`put` eventually); False when a
+        *live* process already holds it.  A claim left behind by a dead
+        process is stolen.  The claim file records the owner pid and is
+        hard-linked into place fully written, so a racing claimant
+        never observes a pid-less claim it would mistake for stale.
+        """
+        path = self.claim_path(experiment_id, params)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".claimtmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(str(os.getpid()))
+            for attempt in range(2):
+                try:
+                    os.link(tmp, path)
+                except FileExistsError:
+                    if attempt or self._claim_owner_alive(path):
+                        return False
+                    # Stale claim: owner is gone.  Unlink and retry
+                    # once — two stealers racing over a *pre-existing*
+                    # stale claim can still both pass this point, but
+                    # then one loses the link race above, which is the
+                    # honest outcome (claims are advisory dedup).
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+                    continue
+                return True
+            return False  # pragma: no cover - both attempts lost the race
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:  # pragma: no cover - cleanup best effort
+                pass
+
+    def release_claim(self, experiment_id: str, params: Any) -> None:
+        """Drop the entry's claim marker (no-op when absent)."""
+        try:
+            self.claim_path(experiment_id, params).unlink()
+        except OSError:
+            pass
+
+    def claimed(self, experiment_id: str, params: Any) -> bool:
+        """Whether a (possibly stale) claim marker exists."""
+        return self.claim_path(experiment_id, params).exists()
+
+    @contextlib.contextmanager
+    def claim(self, experiment_id: str, params: Any):
+        """Context manager: yields True when this process won the claim.
+
+        The claim (when won) is released on exit, including on error —
+        callers typically :meth:`put` the computed value first, so the
+        entry exists by the time the marker disappears.
+        """
+        owned = self.try_claim(experiment_id, params)
+        try:
+            yield owned
+        finally:
+            if owned:
+                self.release_claim(experiment_id, params)
+
+    @staticmethod
+    def _claim_owner_alive(path: Path) -> bool:
+        """Best-effort liveness probe of the pid recorded in a claim."""
+        try:
+            pid = int(path.read_text().strip())
+        except (OSError, ValueError):
+            return False
+        if pid <= 0:
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:  # pragma: no cover - foreign-uid owner
+            return True
+        return True
 
     # -- maintenance --------------------------------------------------------
 

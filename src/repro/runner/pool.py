@@ -17,6 +17,14 @@ trip per window instead of ``n_workers`` sequential ones.
 
 Failures in a worker are caught there and re-raised in the parent as
 :class:`WorkerError` carrying the remote traceback text.
+
+A worker that *dies* mid-command (killed, OOM, segfault) is detected at
+the next :meth:`~PersistentWorkerPool.result`/:meth:`~PersistentWorkerPool.call`
+touching it: the pool raises :class:`WorkerError` with ``died=True`` and
+**respawns a fresh process** in the dead worker's slot, so the pool
+stays usable — but the replacement starts empty, so every actor the
+dead worker hosted must be re-created by the caller (the job server's
+retry path and the shard coordinator both rebuild from scratch).
 """
 
 from __future__ import annotations
@@ -29,14 +37,23 @@ __all__ = ["PersistentWorkerPool", "WorkerError"]
 
 
 class WorkerError(RuntimeError):
-    """An exception raised inside a pool worker, with remote traceback."""
+    """An exception raised inside a pool worker, with remote traceback.
 
-    def __init__(self, worker: int, remote_traceback: str) -> None:
+    ``died`` distinguishes a worker that *raised* (the remote traceback
+    is the real stack) from one that *vanished* mid-command (killed or
+    crashed before it could answer; the pool has already respawned its
+    slot and ``remote_traceback`` describes the death instead).
+    """
+
+    def __init__(self, worker: int, remote_traceback: str,
+                 *, died: bool = False) -> None:
+        verb = "died" if died else "raised"
         super().__init__(
-            f"worker {worker} raised:\n{remote_traceback}"
+            f"worker {worker} {verb}:\n{remote_traceback}"
         )
         self.worker = worker
         self.remote_traceback = remote_traceback
+        self.died = died
 
 
 def _worker_main(conn) -> None:
@@ -86,24 +103,59 @@ class PersistentWorkerPool:
     def __init__(self, n_workers: int, *, mp_context: str | None = None) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
-        ctx = mp.get_context(mp_context)
-        self._workers: list = []
-        self._conns: list = []
+        self._ctx = mp.get_context(mp_context)
+        self._workers: list = [None] * n_workers
+        self._conns: list = [None] * n_workers
         self._inflight = [0] * n_workers
         self._closed = False
-        for _ in range(n_workers):
-            parent_conn, child_conn = ctx.Pipe()
-            process = ctx.Process(
-                target=_worker_main, args=(child_conn,), daemon=True
-            )
-            process.start()
-            child_conn.close()
-            self._workers.append(process)
-            self._conns.append(parent_conn)
+        self.respawns = 0
+        for worker in range(n_workers):
+            self._spawn(worker)
+
+    def _spawn(self, worker: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        self._workers[worker] = process
+        self._conns[worker] = parent_conn
+        self._inflight[worker] = 0
+
+    def _respawn_dead(self, worker: int, context: str) -> WorkerError:
+        """Replace a dead worker's slot; returns the error to raise.
+
+        The dead worker's outstanding commands (and its actors) are
+        gone; callers that pipelined more commands against it must
+        rebuild after catching the returned :class:`WorkerError`.
+        """
+        process = self._workers[worker]
+        try:
+            self._conns[worker].close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - defensive
+            process.terminate()
+            process.join()
+        exitcode = process.exitcode
+        self.respawns += 1
+        self._spawn(worker)
+        return WorkerError(
+            worker,
+            f"worker process died {context} (exit code {exitcode}); "
+            "a fresh worker was respawned but its actors are lost",
+            died=True,
+        )
 
     @property
     def n_workers(self) -> int:
         return len(self._workers)
+
+    def worker_pid(self, worker: int) -> int:
+        """OS pid of one worker process (fault-injection tests)."""
+        return self._workers[worker].pid
 
     # -- pipelined command interface ---------------------------------------
 
@@ -120,11 +172,16 @@ class PersistentWorkerPool:
     def result(self, worker: int) -> Any:
         """Collect the oldest outstanding reply from ``worker``.
 
-        Raises :class:`WorkerError` when the remote command failed.
+        Raises :class:`WorkerError` when the remote command failed, or
+        (with ``died=True``, after respawning the slot) when the worker
+        process vanished before answering.
         """
         if self._inflight[worker] <= 0:
             raise RuntimeError(f"no outstanding command on worker {worker}")
-        status, value = self._conns[worker].recv()
+        try:
+            status, value = self._conns[worker].recv()
+        except (EOFError, ConnectionResetError, OSError):
+            raise self._respawn_dead(worker, "mid-command") from None
         self._inflight[worker] -= 1
         if status == "err":
             raise WorkerError(worker, value)
@@ -139,7 +196,11 @@ class PersistentWorkerPool:
     def _send(self, worker: int, command: tuple) -> None:
         if self._closed:
             raise RuntimeError("pool is closed")
-        self._conns[worker].send(command)
+        try:
+            self._conns[worker].send(command)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            raise self._respawn_dead(worker, "before the command was sent") \
+                from None
         self._inflight[worker] += 1
 
     # -- lifecycle ---------------------------------------------------------

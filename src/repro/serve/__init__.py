@@ -1,0 +1,55 @@
+"""Simulation-as-a-service: an asyncio job server over the runner.
+
+The runner (process-pool execution), the content-addressed
+:class:`~repro.runner.cache.ResultCache` and the obs JSONL trace sink
+are the ingredients of a long-running service; this package binds them
+together so many concurrent clients share one warm cache and one
+scheduler:
+
+* :mod:`repro.serve.protocol` — the newline-delimited-JSON wire format;
+* :mod:`repro.serve.jobs` — request canonicalisation into content
+  addresses (the dedup key) and the blocking per-kind executors;
+* :mod:`repro.serve.server` — the asyncio :class:`JobServer`: in-flight
+  and cache dedup, bounded concurrency, retry-once on worker faults,
+  graceful drain-on-SIGTERM with requeue;
+* :mod:`repro.serve.progress` — the per-job streaming JSONL trace sink
+  that subscribed clients tail;
+* :mod:`repro.serve.client` — sync and async client libraries;
+* :mod:`repro.serve.testing` — a background-thread server harness for
+  tests and benchmarks.
+
+CLI: ``repro serve`` runs a server; ``repro submit`` submits jobs,
+watches progress, and fetches results.
+"""
+
+from .client import AsyncServeClient, ServeClient, ServeError
+from .jobs import (JOB_KINDS, JobError, JobRequest, execute_job, job_key,
+                   normalize_request)
+from .progress import ProgressStats, StreamingTraceSink, TraceStreamWriter
+from .protocol import (MAX_LINE_BYTES, PROTOCOL_VERSION, ProtocolError,
+                       decode_line, encode_line)
+from .server import Job, JobServer, JobState, ServeConfig
+
+__all__ = [
+    "AsyncServeClient",
+    "ServeClient",
+    "ServeError",
+    "JOB_KINDS",
+    "JobError",
+    "JobRequest",
+    "execute_job",
+    "job_key",
+    "normalize_request",
+    "ProgressStats",
+    "StreamingTraceSink",
+    "TraceStreamWriter",
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "decode_line",
+    "encode_line",
+    "Job",
+    "JobServer",
+    "JobState",
+    "ServeConfig",
+]

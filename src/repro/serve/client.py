@@ -1,0 +1,233 @@
+"""Sync and async clients for the job server.
+
+:class:`ServeClient` is a plain blocking socket client — importable
+from scripts, tests and the CLI without touching asyncio (and therefore
+usable from *inside* threads that already host an event loop).
+:class:`AsyncServeClient` is the stream-based equivalent for callers
+that live on a loop.
+
+Both speak the protocol in :mod:`repro.serve.protocol`: one JSON object
+per line, requests carry ``op``, responses carry ``ok``, streamed
+progress carries ``event``.  A response with ``ok: false`` raises
+:class:`ServeError`.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Callable, Iterator
+
+from .protocol import MAX_LINE_BYTES, PROTOCOL_VERSION, decode_line, encode_line
+
+__all__ = ["ServeError", "ServeClient", "AsyncServeClient"]
+
+#: ``on_event`` callback type: receives each streamed event dict.
+EventCallback = Callable[[dict], None]
+
+
+class ServeError(RuntimeError):
+    """The server refused a request (or the connection broke)."""
+
+
+def _check(obj: dict) -> dict:
+    if obj.get("ok") is False:
+        raise ServeError(obj.get("error", "server refused the request"))
+    return obj
+
+
+class ServeClient:
+    """Blocking client over one TCP connection.
+
+    Usable as a context manager; all methods return the decoded
+    response dict (minus any transport framing).
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float | None = 300.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    # -- transport ----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _read(self) -> dict:
+        line = self._rfile.readline(MAX_LINE_BYTES + 2)
+        if not line:
+            raise ServeError("server closed the connection")
+        return _check(decode_line(line))
+
+    def _call(self, msg: dict) -> dict:
+        self._sock.sendall(encode_line({"v": PROTOCOL_VERSION, **msg}))
+        return self._read()
+
+    def _read_events(self, on_event: EventCallback | None) -> dict:
+        """Consume streamed events until the terminal ``end`` message."""
+        while True:
+            obj = self._read()
+            if obj.get("event") == "end":
+                return obj
+            if on_event is not None:
+                on_event(obj)
+
+    # -- operations ---------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self._call({"op": "ping"})
+
+    def submit(self, job: dict, *, wait: bool = False) -> dict:
+        """Submit one job payload; with ``wait`` the response carries
+        ``result`` (the full envelope) once the job finishes."""
+        return self._call({"op": "submit", "job": job, "wait": wait})
+
+    def submit_and_watch(self, job: dict,
+                         on_event: EventCallback | None = None) -> dict:
+        """Submit and stream progress; returns the terminal event."""
+        ack = self._call({"op": "submit", "job": job, "watch": True})
+        end = self._read_events(on_event)
+        end["key"] = end.get("key", ack.get("key"))
+        return end
+
+    def status(self, key: str) -> dict:
+        return self._call({"op": "status", "key": key})
+
+    def result(self, key: str, *, wait: bool = True,
+               timeout: float | None = None) -> dict:
+        """The finished job's envelope (raises ServeError on failure)."""
+        msg: dict[str, Any] = {"op": "result", "key": key, "wait": wait}
+        if timeout is not None:
+            msg["timeout"] = timeout
+        return self._call(msg)["result"]
+
+    def watch(self, key: str, on_event: EventCallback | None = None) -> dict:
+        """Stream an existing job's progress; returns the end event."""
+        self._sock.sendall(encode_line(
+            {"v": PROTOCOL_VERSION, "op": "watch", "key": key}))
+        return self._read_events(on_event)
+
+    def list_jobs(self) -> list[dict]:
+        return self._call({"op": "list"})["jobs"]
+
+    def stats(self) -> dict:
+        return self._call({"op": "stats"})
+
+    def drain(self) -> dict:
+        return self._call({"op": "drain"})
+
+    def run(self, job: dict) -> dict:
+        """Submit, wait, and return just the result envelope."""
+        response = self.submit(job, wait=True)
+        if response.get("state") != "done":
+            raise ServeError(
+                f"job {response.get('key')} ended {response.get('state')}"
+                + (f": {response['failure']}" if response.get("failure")
+                   else ""))
+        return response["result"]
+
+    def iter_watch(self, key: str) -> Iterator[dict]:
+        """Generator form of :meth:`watch` (yields the end event last)."""
+        self._sock.sendall(encode_line(
+            {"v": PROTOCOL_VERSION, "op": "watch", "key": key}))
+        while True:
+            obj = self._read()
+            yield obj
+            if obj.get("event") == "end":
+                return
+
+
+class AsyncServeClient:
+    """Asyncio client over one TCP connection (``await connect(...)``)."""
+
+    def __init__(self, reader, writer):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncServeClient":
+        import asyncio
+
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def _read(self) -> dict:
+        line = await self._reader.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        return _check(decode_line(line))
+
+    async def _call(self, msg: dict) -> dict:
+        self._writer.write(encode_line({"v": PROTOCOL_VERSION, **msg}))
+        await self._writer.drain()
+        return await self._read()
+
+    async def ping(self) -> dict:
+        return await self._call({"op": "ping"})
+
+    async def submit(self, job: dict, *, wait: bool = False) -> dict:
+        return await self._call({"op": "submit", "job": job, "wait": wait})
+
+    async def status(self, key: str) -> dict:
+        return await self._call({"op": "status", "key": key})
+
+    async def result(self, key: str, *, wait: bool = True,
+                     timeout: float | None = None) -> dict:
+        msg: dict[str, Any] = {"op": "result", "key": key, "wait": wait}
+        if timeout is not None:
+            msg["timeout"] = timeout
+        return (await self._call(msg))["result"]
+
+    async def watch(self, key: str,
+                    on_event: EventCallback | None = None) -> dict:
+        """Stream progress for ``key``; returns the terminal event."""
+        self._writer.write(encode_line(
+            {"v": PROTOCOL_VERSION, "op": "watch", "key": key}))
+        await self._writer.drain()
+        while True:
+            obj = await self._read()
+            if obj.get("event") == "end":
+                return obj
+            if on_event is not None:
+                on_event(obj)
+
+    async def submit_and_watch(self, job: dict,
+                               on_event: EventCallback | None = None) -> dict:
+        ack = await self._call({"op": "submit", "job": job, "watch": True})
+        while True:
+            obj = await self._read()
+            if obj.get("event") == "end":
+                obj["key"] = obj.get("key", ack.get("key"))
+                return obj
+            if on_event is not None:
+                on_event(obj)
+
+    async def list_jobs(self) -> list[dict]:
+        return (await self._call({"op": "list"}))["jobs"]
+
+    async def stats(self) -> dict:
+        return await self._call({"op": "stats"})
+
+    async def drain(self) -> dict:
+        return await self._call({"op": "drain"})

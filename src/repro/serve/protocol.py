@@ -1,0 +1,114 @@
+"""The job-server wire format: newline-delimited JSON messages.
+
+Every message — request, response, or streamed progress event — is one
+JSON object serialised on a single line and terminated by ``"\\n"``.
+The format is deliberately primitive: any language with a socket and a
+JSON parser is a client, and a session transcript is itself a valid
+JSONL file.
+
+Requests carry an ``op`` field naming the operation (:data:`OPS`) plus
+op-specific fields; responses carry ``ok`` (bool) plus either result
+fields or an ``error`` string.  Streamed progress events (the ``watch``
+op and ``submit`` with ``watch=true``) carry an ``event`` field instead
+of ``ok``: one ``{"event": "progress", "record": {...}}`` message per
+tailed trace record, then a final ``{"event": "end", "state": ...}``.
+
+Lines longer than :data:`MAX_LINE_BYTES` are a protocol error on both
+sides — the server must not buffer unbounded client input, and results
+larger than the cap should be fetched from the cache directory instead
+of the socket.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "ProtocolError",
+    "encode_line",
+    "decode_line",
+    "validate_request",
+    "error_response",
+]
+
+#: Bump when a request/response field is renamed or changes meaning.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one serialised message (8 MiB).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: The request vocabulary.
+OPS = frozenset({
+    "ping",      # liveness + protocol version probe
+    "submit",    # submit one job (optionally watch its progress)
+    "status",    # one job's state/attempts/error
+    "result",    # one job's result envelope (optionally wait for it)
+    "watch",     # stream a job's progress events until terminal
+    "list",      # all jobs this server knows about
+    "stats",     # server-level obs counters and spans
+    "drain",     # stop accepting, requeue queued jobs, finish running
+})
+
+
+class ProtocolError(ValueError):
+    """A message violating the wire format (not valid JSON, no op, …)."""
+
+
+def encode_line(obj: dict[str, Any]) -> bytes:
+    """Serialise one message to its wire form (compact JSON + newline)."""
+    data = json.dumps(obj, separators=(",", ":"), sort_keys=True,
+                      allow_nan=False).encode()
+    if len(data) + 1 > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"message of {len(data)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte line cap")
+    return data + b"\n"
+
+
+def decode_line(line: bytes | str) -> dict[str, Any]:
+    """Parse one wire line back into a message dict."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(
+                f"line of {len(line)} bytes exceeds the "
+                f"{MAX_LINE_BYTES}-byte cap")
+        line = line.decode("utf-8", errors="replace")
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty message line")
+    try:
+        obj = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"message is not valid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+def validate_request(obj: dict[str, Any]) -> str:
+    """Check a decoded request and return its ``op``.
+
+    Raises :class:`ProtocolError` on a missing/unknown op or a protocol
+    version the server does not speak (absent ``v`` is accepted and
+    treated as the current version).
+    """
+    op = obj.get("op")
+    if not isinstance(op, str) or op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; known ops: {', '.join(sorted(OPS))}")
+    version = obj.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {version!r} not supported "
+            f"(server speaks v{PROTOCOL_VERSION})")
+    return op
+
+
+def error_response(message: str) -> dict[str, Any]:
+    """The standard error payload."""
+    return {"ok": False, "error": message}

@@ -1,0 +1,549 @@
+"""The asyncio :class:`JobServer`: dedup, retry, drain, streaming.
+
+One server process owns one scheduler, one obs handle, and (optionally)
+one on-disk :class:`~repro.runner.cache.ResultCache` shared by every
+client.  The protocol loop runs on the event loop; job execution runs
+on a bounded thread pool (the runner fans out to *processes* below
+that, so the GIL is not on the compute path).
+
+Deduplication happens at three levels, checked in order on submit:
+
+1. **in-flight** — an identical job already queued/running: the new
+   submission attaches to it (one compute, many waiters);
+2. **memory** — an identical job already finished this process: served
+   from the job table;
+3. **cache** — the envelope is in the result cache (warm start from a
+   previous server): served from disk.  A cross-process O_EXCL *claim*
+   around the compute lets several servers share one cache directory
+   without duplicating work.
+
+A failed attempt that died in a worker (:class:`~repro.runner.pool.
+WorkerError`) is retried up to ``max_retries`` times; any other
+exception fails the job immediately (deterministic errors do not get
+better by retrying).
+
+Graceful drain (SIGTERM/SIGINT or the ``drain`` op): new submissions
+are refused, queued-but-unstarted jobs are appended to the spool's
+``requeue.jsonl`` (resubmitted automatically by the next server over
+the same spool), running jobs finish, then the server stops.  Accepted
+jobs are never lost — they end in the cache or in the requeue file —
+and never duplicated, because resubmission dedups against the cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from pathlib import Path
+from typing import Any
+
+from ..obs import Observability, POINT_WALL_EDGES
+from ..obs.trace import TraceRecord
+from ..runner.cache import ResultCache
+from ..runner.pool import WorkerError
+from .jobs import JobError, JobRequest, execute_job, normalize_request
+from .progress import ProgressStats, StreamingTraceSink, TraceStreamWriter, TraceTail
+from .protocol import (MAX_LINE_BYTES, PROTOCOL_VERSION, ProtocolError,
+                       decode_line, encode_line, error_response,
+                       validate_request)
+
+__all__ = ["JobState", "Job", "ServeConfig", "JobServer"]
+
+_MISS = object()
+
+#: Cache namespace for finished job envelopes.
+_ENVELOPE_ID = "serve.envelope"
+
+
+class JobState:
+    """Job lifecycle states (plain strings on the wire)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    REQUEUED = "requeued"
+
+    ALL = frozenset({QUEUED, RUNNING, DONE, FAILED, REQUEUED})
+    TERMINAL = frozenset({DONE, FAILED, REQUEUED})
+
+
+@dataclass
+class ServeConfig:
+    """Knobs for one :class:`JobServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read JobServer.port after start()
+    cache_dir: Path | str | None = None  # None = in-memory dedup only
+    spool_dir: Path | str | None = None  # trace streams + requeue file
+    workers: int = 0        # process-pool size per job (0 = inline)
+    max_concurrent: int = 2  # jobs executing at once
+    max_retries: int = 1     # extra attempts after a worker fault
+    poll_interval: float = 0.02  # watch-loop tail period (seconds)
+
+
+@dataclass
+class Job:
+    """One accepted job and everything the server knows about it."""
+
+    request: JobRequest
+    key: str
+    trace_path: Path
+    state: str = JobState.QUEUED
+    attempts: int = 0
+    units: int = 0
+    submissions: int = 1
+    error: str = ""
+    envelope: dict | None = None
+    accepted_at: float = 0.0  # monotonic; trace t is relative to this
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+    writer: TraceStreamWriter | None = None
+    task: asyncio.Task | None = None
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "key": self.key,
+            "kind": self.request.job_kind,
+            "description": self.request.describe(),
+            "state": self.state,
+            "attempts": self.attempts,
+            "units": self.units,
+            "submissions": self.submissions,
+        }
+
+
+class JobServer:
+    """Accepts jobs over newline-delimited JSON and runs them dedup'd."""
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        self.obs = Observability()
+        self.cache: ResultCache | None = None
+        if self.config.cache_dir is not None:
+            self.cache = ResultCache(Path(self.config.cache_dir))
+        spool = self.config.spool_dir
+        if spool is None and self.config.cache_dir is not None:
+            spool = Path(self.config.cache_dir) / "spool"
+        self._tmp_spool: tempfile.TemporaryDirectory | None = None
+        if spool is None:
+            self._tmp_spool = tempfile.TemporaryDirectory(prefix="repro-serve-")
+            spool = self._tmp_spool.name
+        self.spool_dir = Path(spool)
+        self.spool_dir.mkdir(parents=True, exist_ok=True)
+        self.requeue_path = self.spool_dir / "requeue.jsonl"
+        self.jobs: dict[str, Job] = {}
+        self.port: int | None = None
+        self._sem = asyncio.Semaphore(self.config.max_concurrent)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_concurrent,
+            thread_name_prefix="serve-job")
+        self._server: asyncio.AbstractServer | None = None
+        self._draining = False
+        self._stopped = asyncio.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> "JobServer":
+        """Bind the listening socket and recover any requeued jobs."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port,
+            limit=MAX_LINE_BYTES)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._recover_requeued()
+        return self
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT start a graceful drain (CLI entry point)."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, self.begin_drain)
+
+    async def run(self) -> None:
+        """Block until the server has fully drained and stopped."""
+        await self._stopped.wait()
+
+    def begin_drain(self) -> int:
+        """Refuse new work, requeue unstarted jobs, finish the rest.
+
+        Returns the number of jobs written to the requeue file.  Safe
+        to call more than once (later calls are no-ops) and from a
+        signal handler (it only schedules work on the loop).
+        """
+        if self._draining:
+            return 0
+        self._draining = True
+        requeued: list[dict] = []
+        with self.obs.span("serve.drain"):
+            for job in self.jobs.values():
+                if job.state != JobState.QUEUED:
+                    continue
+                self._emit(job, "job_retried",
+                           detail="requeued: server draining")
+                job.state = JobState.REQUEUED
+                self.obs.count("serve.requeued")
+                requeued.append(job.request.to_payload())
+                if job.task is not None:
+                    job.task.cancel()
+            if requeued:
+                with self.requeue_path.open("a") as fh:
+                    for payload in requeued:
+                        fh.write(json.dumps(payload, sort_keys=True) + "\n")
+        asyncio.ensure_future(self._finish_drain())
+        return len(requeued)
+
+    async def _finish_drain(self) -> None:
+        for job in list(self.jobs.values()):
+            await job.done.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Close the socket and release resources (idempotent)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=False)
+        for job in self.jobs.values():
+            if job.writer is not None:
+                job.writer.close()
+        self._stopped.set()
+
+    def _recover_requeued(self) -> None:
+        """Resubmit jobs a previous server drained into the spool."""
+        try:
+            lines = self.requeue_path.read_text().splitlines()
+        except FileNotFoundError:
+            return
+        self.requeue_path.unlink()
+        for line in lines:
+            if not line.strip():
+                continue
+            with contextlib.suppress(JobError):
+                self.submit_job(json.loads(line))
+
+    # -- submission ---------------------------------------------------------
+
+    def submit_job(self, payload: Any) -> tuple[Job, str]:
+        """Accept one job payload; returns ``(job, dedup)``.
+
+        ``dedup`` says how the job was satisfied: ``"new"`` (scheduled),
+        ``"inflight"`` (attached to a running identical job), ``"done"``
+        (identical job already finished in this process) or ``"cache"``
+        (envelope found in the shared result cache).  Raises
+        :class:`~repro.serve.jobs.JobError` on a bad payload or while
+        draining.
+        """
+        if self._draining:
+            raise JobError("server is draining; resubmit to its successor")
+        request = normalize_request(payload)
+        key = request.key()
+        self.obs.count("serve.submitted")
+        job = self.jobs.get(key)
+        if job is not None:
+            if job.state in (JobState.QUEUED, JobState.RUNNING):
+                job.submissions += 1
+                self.obs.count("serve.dedup.inflight")
+                return job, "inflight"
+            if job.state == JobState.DONE:
+                job.submissions += 1
+                self.obs.count("serve.dedup.cache")
+                return job, "done"
+            # FAILED/REQUEUED: fall through and schedule a fresh run.
+        if self.cache is not None:
+            envelope = self.cache.get(_ENVELOPE_ID, {"key": key}, _MISS)
+            if envelope is not _MISS:
+                job = self._make_job(request, key)
+                job.state = JobState.DONE
+                job.envelope = envelope
+                job.attempts = int(envelope.get("attempts", 0))
+                self._emit(job, "job_finished", value=0.0, detail="cache")
+                job.writer.close()
+                job.done.set()
+                self.jobs[key] = job
+                self.obs.count("serve.dedup.cache")
+                return job, "cache"
+        job = self._make_job(request, key)
+        self.jobs[key] = job
+        depth = sum(1 for j in self.jobs.values()
+                    if j.state == JobState.QUEUED)
+        self._emit(job, "job_queued", value=float(depth))
+        job.task = asyncio.ensure_future(self._run_job(job))
+        return job, "new"
+
+    def _make_job(self, request: JobRequest, key: str) -> Job:
+        trace_path = self.spool_dir / f"{key}.trace.jsonl"
+        job = Job(request=request, key=key, trace_path=trace_path,
+                  accepted_at=time.monotonic())
+        job.writer = TraceStreamWriter(
+            trace_path, meta={"job": key, "kind": request.job_kind})
+        return job
+
+    # -- execution ----------------------------------------------------------
+
+    def _emit(self, job: Job, kind: str, *, value: float | None = None,
+              detail: str = "") -> None:
+        """Record one lifecycle event (server obs + the job's stream)."""
+        t = time.monotonic() - job.accepted_at
+        self.obs.event(kind, t, engine="serve", node=job.key, value=value,
+                       detail=detail)
+        job.writer.write(TraceRecord(kind=kind, t=t, engine="serve",
+                                     node=job.key, value=value,
+                                     detail=detail))
+
+    def _unit_callback(self, job: Job, loop: asyncio.AbstractEventLoop):
+        """Progress hook: runs on the job's executor thread."""
+        def on_unit(done: int, label: str, cached: bool) -> None:
+            job.units = done
+            t = time.monotonic() - job.accepted_at
+            job.writer.write(TraceRecord(
+                kind="job_progress", t=t, engine="serve", node=job.key,
+                value=float(done), detail=label))
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(partial(
+                    self.obs.event, "job_progress", t, engine="serve",
+                    node=job.key, value=float(done), detail=label))
+        return on_unit
+
+    async def _run_job(self, job: Job) -> None:
+        try:
+            async with self._sem:
+                await self._execute_with_retry(job)
+        except asyncio.CancelledError:
+            if job.state not in JobState.TERMINAL:
+                job.state = JobState.REQUEUED
+            raise
+        except Exception as exc:  # scheduler bug — fail, don't hang
+            self._fail(job, f"internal error: {type(exc).__name__}: {exc}")
+        finally:
+            job.done.set()
+            job.writer.close()
+
+    async def _execute_with_retry(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+        claimed = False
+        if self.cache is not None:
+            claimed = await self._await_claim(job)
+            if not claimed:
+                return  # another process computed it while we waited
+        try:
+            max_attempts = 1 + max(0, self.config.max_retries)
+            for attempt in range(1, max_attempts + 1):
+                job.attempts = attempt
+                job.state = JobState.RUNNING
+                self._emit(job, "job_started", value=float(attempt))
+                job_obs = Observability()
+                job_obs.trace = StreamingTraceSink(
+                    job.writer, max_records=job_obs.trace.max_records)
+                stats = ProgressStats(
+                    self._unit_callback(job, loop), obs=job_obs,
+                    workers=max(1, self.config.workers))
+                t0 = time.monotonic()
+                try:
+                    payload = await loop.run_in_executor(
+                        self._executor,
+                        partial(execute_job, job.request, cache=self.cache,
+                                workers=self.config.workers, stats=stats,
+                                obs=job_obs))
+                except WorkerError as exc:
+                    # "worker N died:" plus the first line of detail
+                    reason = " ".join(
+                        line.strip()
+                        for line in str(exc).splitlines()[:2]).strip()
+                    if attempt < max_attempts:
+                        self.obs.count("serve.retried")
+                        self._emit(job, "job_retried", detail=reason)
+                        continue
+                    self._fail(job, f"worker fault persisted across "
+                                    f"{attempt} attempts: {reason}")
+                    return
+                except Exception as exc:
+                    self._fail(job, f"{type(exc).__name__}: {exc}")
+                    return
+                self._finish(job, payload, time.monotonic() - t0, job_obs)
+                return
+        finally:
+            if claimed:
+                self.cache.release_claim(_ENVELOPE_ID, {"key": job.key})
+
+    async def _await_claim(self, job: Job) -> bool:
+        """Win the cross-process claim, or adopt a foreign result.
+
+        Returns True when this server owns the compute.  False means
+        another process holding the claim finished first — the job is
+        completed from its cached envelope.
+        """
+        while True:
+            envelope = self.cache.get(_ENVELOPE_ID, {"key": job.key}, _MISS)
+            if envelope is not _MISS:
+                job.envelope = envelope
+                job.state = JobState.DONE
+                self.obs.count("serve.dedup.cache")
+                self.obs.count("serve.completed")
+                self._emit(job, "job_finished", value=0.0, detail="cache")
+                return False
+            if self.cache.try_claim(_ENVELOPE_ID, {"key": job.key}):
+                return True
+            await asyncio.sleep(self.config.poll_interval * 5)
+
+    def _finish(self, job: Job, payload: dict, wall: float,
+                job_obs: Observability) -> None:
+        self.obs.merge_metrics(job_obs.snapshot())
+        counters = job_obs.metrics.snapshot().get("counters", {})
+        job.envelope = {
+            "job_kind": job.request.job_kind,
+            "key": job.key,
+            "payload": payload,
+            "attempts": job.attempts,
+            "units": job.units,
+            "counters": {k: v for k, v in sorted(counters.items())},
+        }
+        job.state = JobState.DONE
+        if self.cache is not None:
+            self.cache.put(_ENVELOPE_ID, {"key": job.key}, job.envelope)
+        self.obs.count("serve.computed")
+        self.obs.count("serve.completed")
+        self.obs.observe("serve.job_wall_seconds", wall, POINT_WALL_EDGES)
+        self.obs.add_span("serve.job", wall)
+        self._emit(job, "job_finished", value=wall)
+
+    def _fail(self, job: Job, error: str) -> None:
+        job.error = error
+        job.state = JobState.FAILED
+        self.obs.count("serve.failed")
+        self._emit(job, "job_failed", detail=error)
+
+    # -- protocol loop ------------------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        self.obs.count("serve.connections")
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(encode_line(error_response(
+                        f"line exceeds the {MAX_LINE_BYTES}-byte cap")))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                self.obs.count("serve.requests")
+                try:
+                    msg = decode_line(line)
+                    op = validate_request(msg)
+                    await self._dispatch(op, msg, writer)
+                except (ProtocolError, JobError) as exc:
+                    writer.write(encode_line(error_response(str(exc))))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    def _require_job(self, msg: dict) -> Job:
+        key = msg.get("key")
+        job = self.jobs.get(key) if isinstance(key, str) else None
+        if job is None:
+            raise ProtocolError(f"unknown job key {key!r}")
+        return job
+
+    def _status_obj(self, job: Job, *, dedup: str | None = None,
+                    include_result: bool = False) -> dict:
+        obj: dict[str, Any] = {"ok": True, **job.summary()}
+        if dedup is not None:
+            obj["dedup"] = dedup
+        if job.error:
+            obj["failure"] = job.error
+        if include_result and job.envelope is not None:
+            obj["result"] = job.envelope
+        return obj
+
+    async def _dispatch(self, op: str, msg: dict,
+                        writer: asyncio.StreamWriter) -> None:
+        if op == "ping":
+            writer.write(encode_line({
+                "ok": True, "v": PROTOCOL_VERSION, "server": "repro.serve",
+                "draining": self._draining, "jobs": len(self.jobs)}))
+        elif op == "submit":
+            job, dedup = self.submit_job(msg.get("job"))
+            if msg.get("watch"):
+                writer.write(encode_line(self._status_obj(job, dedup=dedup)))
+                await writer.drain()
+                await self._stream(job, writer)
+                return
+            if msg.get("wait"):
+                await job.done.wait()
+            writer.write(encode_line(self._status_obj(
+                job, dedup=dedup, include_result=bool(msg.get("wait")))))
+        elif op == "status":
+            writer.write(encode_line(self._status_obj(self._require_job(msg))))
+        elif op == "result":
+            job = self._require_job(msg)
+            if msg.get("wait", True):
+                timeout = msg.get("timeout")
+                try:
+                    await asyncio.wait_for(job.done.wait(), timeout)
+                except asyncio.TimeoutError:
+                    writer.write(encode_line(error_response(
+                        f"timed out after {timeout}s waiting for "
+                        f"{job.key}")))
+                    return
+            if job.state == JobState.DONE and job.envelope is not None:
+                writer.write(encode_line(self._status_obj(
+                    job, include_result=True)))
+            else:
+                writer.write(encode_line(error_response(
+                    f"job {job.key} is {job.state}"
+                    + (f": {job.error}" if job.error else ""))))
+        elif op == "watch":
+            await self._stream(self._require_job(msg), writer)
+        elif op == "list":
+            writer.write(encode_line({
+                "ok": True,
+                "jobs": [j.summary() for j in self.jobs.values()]}))
+        elif op == "stats":
+            snap = self.obs.metrics.snapshot()
+            writer.write(encode_line({
+                "ok": True,
+                "draining": self._draining,
+                "counters": snap.get("counters", {}),
+                "events": self.obs.event_counts(),
+                "spans": self.obs.profiler.snapshot(),
+            }))
+        elif op == "drain":
+            requeued = self.begin_drain()
+            writer.write(encode_line({
+                "ok": True, "draining": True, "requeued": requeued}))
+        else:  # unreachable: validate_request vets op against OPS
+            raise ProtocolError(f"unhandled op {op!r}")
+
+    async def _stream(self, job: Job, writer: asyncio.StreamWriter) -> None:
+        """Tail the job's trace stream to one client until terminal."""
+        tail = TraceTail(job.trace_path)
+        while True:
+            finished = job.done.is_set()
+            for record in tail.poll():
+                writer.write(encode_line(
+                    {"event": "progress", "record": record.to_json_obj()}))
+            await writer.drain()
+            if finished:
+                break
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(job.done.wait(),
+                                       self.config.poll_interval)
+        end: dict[str, Any] = {"event": "end", "state": job.state,
+                               "key": job.key}
+        if job.error:
+            end["failure"] = job.error
+        writer.write(encode_line(end))
+        await writer.drain()

@@ -1,0 +1,124 @@
+"""A background-thread server harness for tests and benchmarks.
+
+pytest functions are synchronous, so the harness runs the whole asyncio
+server on a dedicated thread with its own event loop; test code talks
+to it through the blocking :class:`~repro.serve.client.ServeClient`
+exactly as an external process would.  The context-manager form drains
+and joins on exit:
+
+    with ServerHarness(ServeConfig(cache_dir=tmp)) as harness:
+        with harness.client() as client:
+            client.run({"kind": "scenario", "preset": "dc-baseline"})
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Callable
+
+from .client import ServeClient
+from .server import JobServer, ServeConfig
+
+__all__ = ["ServerHarness"]
+
+
+class ServerHarness:
+    """Runs one :class:`~repro.serve.server.JobServer` on its own loop."""
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        self.server: JobServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "ServerHarness":
+        self._thread = threading.Thread(
+            target=self._run, name="serve-harness", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("server failed to start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") \
+                from self._startup_error
+        return self
+
+    def stop(self) -> None:
+        """Drain gracefully and join the server thread."""
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            try:
+                loop.call_soon_threadsafe(self.server.begin_drain)
+            except RuntimeError:
+                pass  # loop already closing
+        if self._thread is not None:
+            self._thread.join(timeout=60.0)
+
+    def __enter__(self) -> "ServerHarness":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # surfaced via start()
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.server = JobServer(self.config)
+        try:
+            await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            raise
+        self._ready.set()
+        await self.server.run()
+
+    # -- access -------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None and self.server.port is not None
+        return self.server.port
+
+    def client(self, **kwargs: Any) -> ServeClient:
+        """A fresh blocking client connected to this server."""
+        return ServeClient(self.host, self.port, **kwargs)
+
+    def call_in_loop(self, fn: Callable[[], Any],
+                     timeout: float = 30.0) -> Any:
+        """Run ``fn()`` on the server's event loop thread and return
+        its value — for poking server internals mid-test."""
+        assert self._loop is not None or self.server is not None
+        loop = self._loop
+        if loop is None:
+            loop = asyncio.get_event_loop()  # pragma: no cover
+        done = threading.Event()
+        box: list[Any] = [None, None]
+
+        def call() -> None:
+            try:
+                box[0] = fn()
+            except BaseException as exc:
+                box[1] = exc
+            done.set()
+
+        loop.call_soon_threadsafe(call)
+        if not done.wait(timeout):
+            raise TimeoutError("call_in_loop timed out")
+        if box[1] is not None:
+            raise box[1]
+        return box[0]

@@ -1,0 +1,186 @@
+"""Stress tests: ResultCache under concurrent multi-process writers.
+
+The job server shares one cache directory across server processes, CLI
+runs, and pool workers.  These tests hammer the two mechanisms that
+make that safe — atomic ``os.replace`` stores and ``O_EXCL`` claim
+files — with real concurrent processes:
+
+* racing same-key writers never corrupt an entry (readers only ever
+  see a miss or a complete value);
+* N processes racing :meth:`ResultCache.try_claim` elect exactly one
+  owner;
+* a claim left behind by a dead process is stolen, a live owner's is
+  respected.
+"""
+
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+
+from repro.runner.cache import ResultCache
+
+CTX = multiprocessing.get_context("fork")
+
+EXPERIMENT = "stress.entry"
+PARAMS = {"key": "shared"}
+VALUE = {"payload": list(range(256)), "digest": "a" * 64}
+
+
+def _hammer_puts(directory, rounds):
+    cache = ResultCache(directory, version="stress")
+    for _ in range(rounds):
+        cache.put(EXPERIMENT, PARAMS, VALUE)
+
+
+def _race_claim(directory, barrier, queue):
+    cache = ResultCache(directory, version="stress")
+    barrier.wait(timeout=30)
+    queue.put((os.getpid(), cache.try_claim(EXPERIMENT, PARAMS)))
+
+
+def _dead_pid():
+    """A pid guaranteed to belong to no live process (already exited)."""
+    out = subprocess.run(
+        [sys.executable, "-c", "import os; print(os.getpid())"],
+        capture_output=True, text=True, check=True)
+    return int(out.stdout)
+
+
+def test_racing_same_key_writers_never_corrupt(tmp_path):
+    writers = [CTX.Process(target=_hammer_puts, args=(tmp_path, 40))
+               for _ in range(8)]
+    for proc in writers:
+        proc.start()
+    # read continuously while the writers race: every observation must
+    # be either a clean miss or the complete value, never a torn pickle
+    reader = ResultCache(tmp_path, version="stress")
+    missing = object()
+    observations = 0
+    while any(proc.is_alive() for proc in writers) or observations < 50:
+        value = reader.get(EXPERIMENT, PARAMS, missing)
+        assert value is missing or value == VALUE
+        observations += 1
+        if observations > 100_000:  # pragma: no cover - safety valve
+            break
+    for proc in writers:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    assert reader.stats.corrupt == 0
+    assert reader.get(EXPERIMENT, PARAMS) == VALUE
+
+
+def test_racing_distinct_key_writers_all_land(tmp_path):
+    def hammer(seed):
+        cache = ResultCache(tmp_path, version="stress")
+        for i in range(20):
+            cache.put(EXPERIMENT, {"writer": seed, "i": i}, {"v": seed * i})
+
+    writers = [CTX.Process(target=hammer, args=(seed,)) for seed in range(6)]
+    for proc in writers:
+        proc.start()
+    for proc in writers:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    reader = ResultCache(tmp_path, version="stress")
+    assert reader.size(EXPERIMENT) == 6 * 20
+    for seed in range(6):
+        for i in range(20):
+            assert reader.get(EXPERIMENT, {"writer": seed, "i": i}) == \
+                {"v": seed * i}
+    assert reader.stats.corrupt == 0
+
+
+def test_exactly_one_claim_winner_across_processes(tmp_path):
+    n = 8
+    barrier = CTX.Barrier(n)
+    queue = CTX.Queue()
+    racers = [CTX.Process(target=_race_claim, args=(tmp_path, barrier, queue))
+              for _ in range(n)]
+    for proc in racers:
+        proc.start()
+    outcomes = [queue.get(timeout=30) for _ in range(n)]
+    for proc in racers:
+        proc.join(timeout=30)
+        assert proc.exitcode == 0
+    winners = [pid for pid, won in outcomes if won]
+    assert len(winners) == 1, outcomes
+    # the claim file records the winner's pid
+    cache = ResultCache(tmp_path, version="stress")
+    recorded = int(cache.claim_path(EXPERIMENT, PARAMS).read_text())
+    assert recorded == winners[0]
+
+
+def test_stale_claim_from_dead_process_is_stolen(tmp_path):
+    cache = ResultCache(tmp_path, version="stress")
+    claim = cache.claim_path(EXPERIMENT, PARAMS)
+    claim.parent.mkdir(parents=True, exist_ok=True)
+    claim.write_text(str(_dead_pid()))
+    assert cache.claimed(EXPERIMENT, PARAMS)
+    assert cache.try_claim(EXPERIMENT, PARAMS)  # stolen
+    assert int(claim.read_text()) == os.getpid()
+    cache.release_claim(EXPERIMENT, PARAMS)
+    assert not cache.claimed(EXPERIMENT, PARAMS)
+
+
+def test_live_claim_is_respected_and_garbage_claim_is_stolen(tmp_path):
+    cache = ResultCache(tmp_path, version="stress")
+    assert cache.try_claim(EXPERIMENT, PARAMS)
+    # a second caller (same live pid counts as alive) must lose
+    other = ResultCache(tmp_path, version="stress")
+    assert not other.try_claim(EXPERIMENT, PARAMS)
+    cache.release_claim(EXPERIMENT, PARAMS)
+    # unparsable owner -> treated as dead, claim stolen
+    claim = cache.claim_path(EXPERIMENT, PARAMS)
+    claim.write_text("not-a-pid")
+    assert other.try_claim(EXPERIMENT, PARAMS)
+    other.release_claim(EXPERIMENT, PARAMS)
+
+
+def test_claim_context_manager_releases_after_put(tmp_path):
+    cache = ResultCache(tmp_path, version="stress")
+    with cache.claim(EXPERIMENT, PARAMS) as owned:
+        assert owned
+        cache.put(EXPERIMENT, PARAMS, VALUE)
+        assert cache.claimed(EXPERIMENT, PARAMS)
+    assert not cache.claimed(EXPERIMENT, PARAMS)
+    assert cache.get(EXPERIMENT, PARAMS) == VALUE
+    # losing the claim does not release the winner's marker
+    assert cache.try_claim(EXPERIMENT, PARAMS)
+    with cache.claim(EXPERIMENT, PARAMS) as owned:
+        assert not owned
+    assert cache.claimed(EXPERIMENT, PARAMS)
+    cache.release_claim(EXPERIMENT, PARAMS)
+
+
+def test_corrupt_entry_is_dropped_not_raised(tmp_path):
+    cache = ResultCache(tmp_path, version="stress")
+    path = cache.put(EXPERIMENT, PARAMS, VALUE)
+    path.write_bytes(b"\x80\x05 torn mid-write")
+    missing = object()
+    assert cache.get(EXPERIMENT, PARAMS, missing) is missing
+    assert cache.stats.corrupt == 1
+    assert not path.exists()  # dropped so the next writer heals it
+    cache.put(EXPERIMENT, PARAMS, VALUE)
+    assert cache.get(EXPERIMENT, PARAMS) == VALUE
+
+
+def test_server_envelopes_share_cache_format(tmp_path):
+    """The serve layer's envelope entries are plain cache entries —
+    readable by any ResultCache over the same directory."""
+    from repro.serve import normalize_request
+    from repro.serve.server import ServeConfig
+    from repro.serve.testing import ServerHarness
+
+    payload = {"kind": "scenario", "preset": "dc-baseline", "seed": 0}
+    with ServerHarness(ServeConfig(cache_dir=tmp_path)) as harness:
+        with harness.client() as client:
+            response = client.submit(payload, wait=True)
+            key = response["key"]
+    outside = ResultCache(tmp_path)
+    envelope = outside.get("serve.envelope", {"key": key})
+    assert envelope is not None
+    assert envelope["key"] == key == normalize_request(payload).key()
+    assert json.dumps(envelope, sort_keys=True) == \
+        json.dumps(response["result"], sort_keys=True)

@@ -1,0 +1,363 @@
+"""Concurrency end-to-end: 8 clients, one compute per unique job.
+
+The acceptance scenario for simulation-as-a-service: eight concurrent
+clients over one server with a shared warm cache submit overlapping
+work; every unique job is computed exactly once, duplicate submissions
+get byte-identical results, every running job streams progress events,
+the merged obs metrics equal a serial reference, and SIGTERM/drain
+never loses or duplicates an accepted job.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.obs import Observability
+from repro.runner.cache import ResultCache
+from repro.serve import normalize_request
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.jobs import execute_job
+from repro.serve.progress import ProgressStats
+from repro.serve.server import JobState, ServeConfig
+from repro.serve.testing import ServerHarness
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Four unique jobs; eight clients submit each twice.
+UNIQUE_JOBS = [
+    {"kind": "scenario", "preset": "dc-baseline", "seed": 0},
+    {"kind": "scenario", "preset": "dc-baseline", "seed": 1},
+    {"kind": "scenario", "preset": "dc-baseline", "seed": 2},
+    {"kind": "sweep", "preset": "dc-baseline", "n_seeds": 3},
+]
+
+
+def _deterministic(counters):
+    """Counters that must match a serial reference run exactly.
+
+    Timing accumulators (``*seconds*``) and the server's own lifecycle
+    bookkeeping (``serve.*``, ``events.job_*``) are run-dependent; the
+    runner work counters and engine event counts are not.
+    """
+    return {
+        name: value for name, value in counters.items()
+        if "seconds" not in name
+        and not name.startswith("serve.")
+        and not name.startswith("events.job_")
+    }
+
+
+def _serial_reference():
+    """The same four unique jobs, computed serially under one obs."""
+    obs = Observability()
+    for payload in UNIQUE_JOBS:
+        request = normalize_request(payload)
+        stats = ProgressStats(lambda done, label, cached: None,
+                              obs=obs, workers=1)
+        execute_job(request, cache=None, workers=0, stats=stats, obs=obs)
+    return _deterministic(obs.metrics.snapshot()["counters"])
+
+
+def test_eight_clients_one_compute_per_unique_job(tmp_path):
+    config = ServeConfig(cache_dir=tmp_path / "cache", max_concurrent=4)
+    results = {}        # client index -> (key, canonical result JSON)
+    streams = {}        # client index -> list of streamed event kinds
+    errors = []
+    barrier = threading.Barrier(8)
+
+    def run_client(index, harness):
+        payload = UNIQUE_JOBS[index % len(UNIQUE_JOBS)]
+        try:
+            with harness.client() as client:
+                barrier.wait(timeout=30)
+                if index < len(UNIQUE_JOBS):
+                    # one watcher per unique job streams its progress
+                    events = []
+                    end = client.submit_and_watch(payload, events.append)
+                    assert end["state"] == JobState.DONE
+                    key = end["key"]
+                    envelope = client.result(key)
+                    streams[index] = [e["record"]["kind"] for e in events]
+                else:
+                    response = client.submit(payload, wait=True)
+                    assert response["state"] == JobState.DONE
+                    key = response["key"]
+                    envelope = response["result"]
+                results[index] = (key, json.dumps(envelope, sort_keys=True))
+        except BaseException as exc:  # surfaced after join
+            errors.append((index, exc))
+
+    with ServerHarness(config) as harness:
+        threads = [threading.Thread(target=run_client, args=(i, harness))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=180)
+        assert not errors, errors
+
+        with harness.client() as client:
+            stats = client.stats()
+            jobs = client.list_jobs()
+
+    # exactly one compute per unique job, 8 accepted submissions
+    assert stats["counters"]["serve.submitted"] == 8
+    assert stats["counters"]["serve.computed"] == len(UNIQUE_JOBS)
+    assert stats["counters"]["serve.completed"] == len(UNIQUE_JOBS)
+    dedup = (stats["counters"].get("serve.dedup.inflight", 0)
+             + stats["counters"].get("serve.dedup.cache", 0))
+    assert dedup == 8 - len(UNIQUE_JOBS)
+    assert len(jobs) == len(UNIQUE_JOBS)
+    assert all(j["state"] == JobState.DONE for j in jobs)
+
+    # duplicate submissions got byte-identical results
+    by_key = {}
+    for index, (key, blob) in results.items():
+        by_key.setdefault(key, set()).add(blob)
+    assert len(by_key) == len(UNIQUE_JOBS)
+    for key, blobs in by_key.items():
+        assert len(blobs) == 1, f"divergent results for {key}"
+
+    # every running job streamed progress events
+    for index, kinds in streams.items():
+        assert "job_started" in kinds, (index, kinds)
+        assert kinds[-1] == "job_finished", (index, kinds)
+        if UNIQUE_JOBS[index]["kind"] == "sweep":
+            assert kinds.count("job_progress") == 3
+
+    # merged obs metrics equal the serial reference
+    assert _deterministic(stats["counters"]) == _serial_reference()
+
+
+def test_duplicate_submission_attaches_in_flight(monkeypatch, tmp_path):
+    import repro.serve.server as server_mod
+    from repro.serve.jobs import execute_job as real_execute
+
+    release = threading.Event()
+    started = threading.Event()
+
+    def gated(request, **kwargs):
+        started.set()
+        assert release.wait(timeout=30)
+        return real_execute(request, **kwargs)
+
+    monkeypatch.setattr(server_mod, "execute_job", gated)
+    payload = UNIQUE_JOBS[0]
+    with ServerHarness(ServeConfig(cache_dir=tmp_path / "c")) as harness:
+        with harness.client() as c1, harness.client() as c2:
+            first = c1.submit(payload)
+            assert first["dedup"] == "new"
+            assert started.wait(timeout=30)
+            second = c2.submit(payload)
+            assert second["dedup"] == "inflight"
+            assert second["key"] == first["key"]
+            release.set()
+            a = c1.result(first["key"])
+            b = c2.result(second["key"])
+            assert (json.dumps(a, sort_keys=True)
+                    == json.dumps(b, sort_keys=True))
+            stats = c1.stats()
+            assert stats["counters"]["serve.computed"] == 1
+            assert stats["counters"]["serve.dedup.inflight"] == 1
+
+
+def test_warm_cache_survives_server_restart(tmp_path):
+    payload = UNIQUE_JOBS[1]
+    config = ServeConfig(cache_dir=tmp_path / "cache")
+    with ServerHarness(config) as harness:
+        with harness.client() as client:
+            first = client.submit(payload, wait=True)
+            assert first["dedup"] == "new"
+            blob = json.dumps(first["result"], sort_keys=True)
+    with ServerHarness(ServeConfig(cache_dir=tmp_path / "cache")) as harness:
+        with harness.client() as client:
+            second = client.submit(payload, wait=True)
+            assert second["dedup"] == "cache"
+            assert second["key"] == first["key"]
+            assert json.dumps(second["result"], sort_keys=True) == blob
+            stats = client.stats()
+            assert "serve.computed" not in stats["counters"]
+
+
+def test_drain_requeues_queued_jobs_without_loss(monkeypatch, tmp_path):
+    import repro.serve.server as server_mod
+    from repro.serve.jobs import execute_job as real_execute
+
+    release = threading.Event()
+    started = threading.Event()
+    computed = []
+
+    def gated(request, **kwargs):
+        started.set()
+        assert release.wait(timeout=60)
+        computed.append(request.key())
+        return real_execute(request, **kwargs)
+
+    monkeypatch.setattr(server_mod, "execute_job", gated)
+    cache_dir = tmp_path / "cache"
+    payloads = [{"kind": "scenario", "preset": "dc-baseline", "seed": s}
+                for s in range(4)]
+    keys = []
+    with ServerHarness(ServeConfig(cache_dir=cache_dir,
+                                   max_concurrent=1)) as harness:
+        with harness.client() as client:
+            for payload in payloads:
+                keys.append(client.submit(payload)["key"])
+            assert started.wait(timeout=30)
+            response = client.drain()
+            assert response["requeued"] == 3  # one running, three queued
+            with pytest.raises(ServeError, match="draining"):
+                client.submit({"kind": "scenario", "preset": "dc-baseline",
+                               "seed": 99})
+            release.set()
+    assert computed == keys[:1]  # only the running job computed here
+
+    requeue = cache_dir / "spool" / "requeue.jsonl"
+    requeued_keys = [normalize_request(json.loads(line)).key()
+                     for line in requeue.read_text().splitlines()]
+    assert sorted(requeued_keys) == sorted(keys[1:])
+
+    # a successor over the same spool recovers and completes everything,
+    # without recomputing the job the first server finished
+    with ServerHarness(ServeConfig(cache_dir=cache_dir,
+                                   max_concurrent=2)) as harness:
+        with harness.client() as client:
+            for payload, key in zip(payloads, keys):
+                response = client.submit(payload, wait=True)
+                assert response["state"] == JobState.DONE
+                assert response["key"] == key
+            assert client.stats()["counters"]["serve.computed"] == 3
+    assert not requeue.exists()  # consumed by recovery
+    assert sorted(computed) == sorted(keys)  # each job computed exactly once
+
+
+def test_async_client_covers_the_same_surface(tmp_path):
+    """AsyncServeClient speaks the identical protocol from a loop."""
+    import asyncio
+
+    from repro.serve import AsyncServeClient
+
+    payload = UNIQUE_JOBS[0]
+
+    async def drive(host, port):
+        async with await AsyncServeClient.connect(host, port) as client:
+            assert (await client.ping())["ok"] is True
+            first = await client.submit(payload, wait=True)
+            assert first["state"] == JobState.DONE
+            events = []
+            end = await client.submit_and_watch(payload, events.append)
+            assert end["state"] == JobState.DONE
+            assert end["key"] == first["key"]
+            status = await client.status(first["key"])
+            assert status["state"] == JobState.DONE
+            envelope = await client.result(first["key"], timeout=30)
+            assert envelope["key"] == first["key"]
+            watched = await client.watch(first["key"])
+            assert watched["state"] == JobState.DONE
+            jobs = await client.list_jobs()
+            assert len(jobs) == 1
+            stats = await client.stats()
+            assert stats["counters"]["serve.computed"] == 1
+            drained = await client.drain()
+            assert drained["draining"] is True
+            return envelope
+
+    def stable(envelope):
+        return json.dumps(
+            {**envelope,
+             "counters": {k: v for k, v in envelope["counters"].items()
+                          if "seconds" not in k}},
+            sort_keys=True)
+
+    # the final async drain() stops the server, so take the sync
+    # reference from its own server; the recompute is deterministic up
+    # to timing counters, which stable() strips
+    with ServerHarness(ServeConfig(cache_dir=tmp_path / "c")) as harness:
+        with harness.client() as sync_client:
+            reference = sync_client.run(payload)
+    with ServerHarness(ServeConfig(cache_dir=tmp_path / "c2")) as harness:
+        envelope = asyncio.run(drive(harness.host, harness.port))
+    assert stable(envelope) == stable(reference)
+
+
+def test_sync_client_run_and_iter_watch(monkeypatch, tmp_path):
+    import repro.serve.server as server_mod
+
+    def broken(request, **kwargs):
+        raise ValueError("deterministic bug")
+
+    payload = UNIQUE_JOBS[2]
+    with ServerHarness(ServeConfig(cache_dir=tmp_path / "c",
+                                   max_retries=0)) as harness:
+        with harness.client() as client:
+            envelope = client.run(payload)
+            assert envelope["job_kind"] == "scenario"
+            key = client.submit(payload)["key"]
+            seen = list(client.iter_watch(key))
+            assert seen[-1]["event"] == "end"
+            assert seen[-1]["state"] == JobState.DONE
+            monkeypatch.setattr(server_mod, "execute_job", broken)
+            with pytest.raises(ServeError, match="failed.*deterministic"):
+                client.run({"kind": "scenario", "preset": "dc-baseline",
+                            "seed": 41})
+
+
+def test_sigterm_drains_subprocess_without_losing_jobs(tmp_path):
+    cache_dir = tmp_path / "cache"
+    env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--cache-dir", str(cache_dir), "--max-concurrent", "1"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        env=env, cwd=REPO_ROOT, text=True)
+    try:
+        listening = json.loads(proc.stdout.readline())["listening"]
+        jobs = [{"kind": "sweep", "preset": "dc-baseline", "n_seeds": 6},
+                {"kind": "scenario", "preset": "dc-baseline", "seed": 7},
+                {"kind": "scenario", "preset": "dc-baseline", "seed": 8}]
+        keys = []
+        with ServeClient(listening["host"], listening["port"]) as client:
+            for job in jobs:
+                keys.append(client.submit(job)["key"])
+        proc.send_signal(signal.SIGTERM)
+        _, err = proc.communicate(timeout=180)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on failure
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0, err
+
+    # no accepted job was lost: each is in the cache or the requeue file
+    cache = ResultCache(cache_dir)
+    requeue = cache_dir / "spool" / "requeue.jsonl"
+    requeued_keys = set()
+    if requeue.exists():
+        requeued_keys = {normalize_request(json.loads(line)).key()
+                         for line in requeue.read_text().splitlines()}
+    missing = object()
+    for key in keys:
+        cached = cache.get("serve.envelope", {"key": key}, missing)
+        assert cached is not missing or key in requeued_keys, \
+            f"job {key} lost in drain"
+
+    # recovery completes everything; nothing is computed twice
+    match = re.search(r"drained: (\{.*\})", err)
+    assert match, err
+    computed_before = json.loads(match.group(1)).get("serve.computed", 0)
+    with ServerHarness(ServeConfig(cache_dir=cache_dir,
+                                   max_concurrent=2)) as harness:
+        with harness.client() as client:
+            for job, key in zip(jobs, keys):
+                response = client.submit(job, wait=True)
+                assert response["state"] == JobState.DONE
+                assert response["key"] == key
+            computed_after = client.stats()["counters"].get(
+                "serve.computed", 0)
+    assert computed_before + computed_after == len(jobs)

@@ -1,0 +1,223 @@
+"""Fault injection: worker death, pool respawn, server retry-then-fail.
+
+Covers the two failure layers end to end:
+
+* :class:`repro.runner.pool.PersistentWorkerPool` — a worker killed
+  mid-command surfaces as :class:`WorkerError` with ``died=True`` and a
+  fresh process in the slot; a worker that *raises* surfaces the remote
+  traceback with the process intact;
+* :class:`repro.serve.server.JobServer` — a job whose attempt dies in a
+  worker is retried once (``job_retried`` on its stream, fresh
+  attempt counter) and, when the fault persists, failed cleanly without
+  taking the server down.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.runner.pool import PersistentWorkerPool, WorkerError
+from repro.serve.client import ServeError
+from repro.serve.server import JobState, ServeConfig
+from repro.serve.testing import ServerHarness
+
+
+class Counter:
+    """Minimal picklable actor for pool tests."""
+
+    def __init__(self, start=0):
+        self.value = start
+
+    def add(self, n):
+        self.value += n
+        return self.value
+
+    def boom(self):
+        raise ValueError("injected actor failure")
+
+    def hang(self):
+        time.sleep(60.0)  # killed long before this returns
+
+    def pid(self):
+        return os.getpid()
+
+
+def _kill_and_wait(pool, worker):
+    """SIGKILL one worker and wait until its process object is reaped
+    (a bare ``os.kill(pid, 0)`` probe would see the zombie forever)."""
+    os.kill(pool.worker_pid(worker), signal.SIGKILL)
+    process = pool._workers[worker]
+    process.join(timeout=10.0)
+    assert not process.is_alive()
+
+
+class TestPoolFaults:
+    def test_raise_carries_remote_traceback_and_keeps_worker(self):
+        with PersistentWorkerPool(1) as pool:
+            pool.create(0, "c", Counter)
+            pool.result(0)
+            pid = pool.call_sync(0, "c", "pid")
+            with pytest.raises(WorkerError) as excinfo:
+                pool.call_sync(0, "c", "boom")
+            err = excinfo.value
+            assert not err.died and err.worker == 0
+            assert "ValueError" in err.remote_traceback
+            assert "injected actor failure" in err.remote_traceback
+            assert pool.respawns == 0
+            # same process, actor state intact
+            assert pool.call_sync(0, "c", "pid") == pid
+            assert pool.call_sync(0, "c", "add", 3) == 3
+
+    def test_kill_mid_command_respawns_and_pool_stays_usable(self):
+        with PersistentWorkerPool(2) as pool:
+            pool.create(0, "c", Counter)
+            pool.result(0)
+            old_pid = pool.worker_pid(0)
+            pool.call(0, "c", "hang")  # in flight, blocked in the worker
+            _kill_and_wait(pool, 0)
+            with pytest.raises(WorkerError) as excinfo:
+                pool.result(0)
+            err = excinfo.value
+            assert err.died and err.worker == 0
+            assert "died" in str(err)
+            assert pool.respawns == 1
+            assert pool.worker_pid(0) != old_pid
+            # slot is fresh: actors are gone but new ones work
+            pool.create(0, "c2", Counter, 10)
+            pool.result(0)
+            assert pool.call_sync(0, "c2", "add", 5) == 15
+            # the untouched worker never noticed
+            pool.create(1, "c", Counter)
+            pool.result(1)
+            assert pool.call_sync(1, "c", "add", 2) == 2
+
+    def test_kill_before_send_respawns(self):
+        with PersistentWorkerPool(1) as pool:
+            _kill_and_wait(pool, 0)
+            with pytest.raises(WorkerError) as excinfo:
+                # the dead pipe is detected on send or on the matching
+                # receive, depending on kernel buffering
+                pool.create(0, "c", Counter)
+                pool.result(0)
+            assert excinfo.value.died
+            assert pool.respawns == 1
+            pool.create(0, "c", Counter)
+            pool.result(0)
+            assert pool.call_sync(0, "c", "add", 1) == 1
+
+    def test_pipelined_commands_survive_unrelated_raise(self):
+        with PersistentWorkerPool(1) as pool:
+            pool.create(0, "c", Counter)
+            pool.result(0)
+            pool.call(0, "c", "add", 1)
+            pool.call(0, "c", "boom")
+            pool.call(0, "c", "add", 1)
+            assert pool.result(0) == 1
+            with pytest.raises(WorkerError):
+                pool.result(0)
+            assert pool.result(0) == 2
+
+
+JOB = {"kind": "scenario", "preset": "dc-baseline", "seed": 0}
+
+
+def _inject_worker_faults(monkeypatch, fail_first_n):
+    """Patch the server's executor to die ``fail_first_n`` times per job."""
+    import repro.serve.server as server_mod
+    from repro.serve.jobs import execute_job as real_execute
+
+    failures = {}
+    calls = []
+
+    def flaky(request, **kwargs):
+        calls.append(request.key())
+        count = failures.get(request.key(), 0)
+        if count < fail_first_n:
+            failures[request.key()] = count + 1
+            raise WorkerError(0, "worker process died mid-command "
+                                 "(injected)", died=True)
+        return real_execute(request, **kwargs)
+
+    monkeypatch.setattr(server_mod, "execute_job", flaky)
+    return calls
+
+
+class TestServerRetry:
+    def test_worker_fault_is_retried_once_then_succeeds(self, monkeypatch,
+                                                        tmp_path):
+        calls = _inject_worker_faults(monkeypatch, fail_first_n=1)
+        config = ServeConfig(cache_dir=tmp_path / "cache", max_retries=1)
+        with ServerHarness(config) as harness:
+            with harness.client() as client:
+                events = []
+                end = client.submit_and_watch(JOB, events.append)
+                assert end["state"] == JobState.DONE
+                result = client.result(end["key"])
+                assert result["attempts"] == 2
+                kinds = [e["record"]["kind"] for e in events]
+                # attempt 1 -> retried -> attempt 2 -> finished
+                assert kinds.count("job_started") == 2
+                assert "job_retried" in kinds
+                assert kinds.index("job_retried") > kinds.index("job_started")
+                assert kinds[-1] == "job_finished"
+                stats = client.stats()
+                assert stats["counters"]["serve.retried"] == 1
+                assert stats["counters"]["serve.computed"] == 1
+        assert len(calls) == 2
+
+    def test_persistent_fault_fails_cleanly_server_survives(self, monkeypatch,
+                                                            tmp_path):
+        _inject_worker_faults(monkeypatch, fail_first_n=99)
+        config = ServeConfig(cache_dir=tmp_path / "cache", max_retries=1)
+        with ServerHarness(config) as harness:
+            with harness.client() as client:
+                response = client.submit(JOB, wait=True)
+                assert response["state"] == JobState.FAILED
+                assert "worker fault" in response["failure"]
+                assert "injected" in response["failure"]
+                assert response["attempts"] == 2
+                with pytest.raises(ServeError, match="failed"):
+                    client.result(response["key"])
+                status = client.status(response["key"])
+                assert status["state"] == JobState.FAILED
+                stats = client.stats()
+                assert stats["counters"]["serve.failed"] == 1
+                assert "serve.computed" not in stats["counters"]
+                # the server is still healthy: failure events recorded,
+                # protocol loop alive
+                assert stats["events"]["job_failed"] == 1
+                assert client.ping()["ok"] is True
+
+    def test_failed_job_can_be_resubmitted(self, monkeypatch, tmp_path):
+        calls = _inject_worker_faults(monkeypatch, fail_first_n=2)
+        config = ServeConfig(cache_dir=tmp_path / "cache", max_retries=0)
+        with ServerHarness(config) as harness:
+            with harness.client() as client:
+                first = client.submit(JOB, wait=True)
+                assert first["state"] == JobState.FAILED
+                second = client.submit(JOB, wait=True)
+                assert second["state"] == JobState.FAILED
+                third = client.submit(JOB, wait=True)
+                assert third["state"] == JobState.DONE
+                assert third["result"]["payload"]["record"]["utilization"] > 0
+        assert len(calls) == 3
+
+    def test_deterministic_error_is_not_retried(self, monkeypatch, tmp_path):
+        import repro.serve.server as server_mod
+
+        calls = []
+
+        def broken(request, **kwargs):
+            calls.append(request.key())
+            raise ValueError("deterministic bug")
+
+        monkeypatch.setattr(server_mod, "execute_job", broken)
+        config = ServeConfig(cache_dir=tmp_path / "cache", max_retries=3)
+        with ServerHarness(config) as harness:
+            with harness.client() as client:
+                response = client.submit(JOB, wait=True)
+                assert response["state"] == JobState.FAILED
+                assert "ValueError" in response["failure"]
+        assert len(calls) == 1  # no retries burned on a deterministic bug

@@ -1,0 +1,133 @@
+"""Property tests: job-key canonicalisation (repro.serve.jobs).
+
+The dedup contract: *equivalent* submissions — reordered fields,
+``4.0`` for ``4``, defaults elided versus spelled out, ``n_seeds``
+sugar versus the explicit list — map to exactly one job key, and
+*distinct* canonical requests never collide.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import PRESETS
+from repro.serve import job_key, normalize_request
+from repro.simulation.network import PACKET_ENGINES
+
+PRESET_NAMES = sorted(PRESETS)
+ENGINE_NAMES = sorted(PACKET_ENGINES)
+
+seeds = st.integers(min_value=-(2 ** 53), max_value=2 ** 53)
+
+
+@st.composite
+def scenario_payloads(draw):
+    payload = {
+        "kind": "scenario",
+        "preset": draw(st.sampled_from(PRESET_NAMES)),
+    }
+    if draw(st.booleans()):
+        payload["seed"] = draw(seeds)
+    if draw(st.booleans()):
+        payload["engine"] = draw(st.sampled_from(ENGINE_NAMES))
+    return payload
+
+
+@st.composite
+def sweep_payloads(draw):
+    payload = {
+        "kind": "sweep",
+        "preset": draw(st.sampled_from(PRESET_NAMES)),
+    }
+    if draw(st.booleans()):
+        payload["n_seeds"] = draw(st.integers(min_value=1, max_value=12))
+    elif draw(st.booleans()):
+        payload["seeds"] = draw(
+            st.lists(seeds, min_size=1, max_size=6))
+    if draw(st.booleans()):
+        payload["engine"] = draw(st.sampled_from(ENGINE_NAMES))
+    return payload
+
+
+payloads = st.one_of(scenario_payloads(), sweep_payloads())
+
+
+def _reordered(payload, order_seed):
+    items = sorted(payload.items(),
+                   key=lambda kv: hash((order_seed, kv[0])))
+    return dict(items)
+
+
+def _floatified(payload):
+    """Ints an IEEE double can hold exactly become equal floats."""
+    out = {}
+    for key, value in payload.items():
+        if (isinstance(value, int) and not isinstance(value, bool)
+                and float(value) == value and key != "n_seeds"):
+            out[key] = float(value)
+        elif isinstance(value, list):
+            out[key] = [float(v) if float(v) == v else v for v in value]
+        else:
+            out[key] = value
+    return out
+
+
+@given(payloads, st.integers())
+@settings(max_examples=60, deadline=None)
+def test_field_order_never_changes_the_key(payload, order_seed):
+    assert (normalize_request(_reordered(payload, order_seed)).key()
+            == normalize_request(payload).key())
+
+
+@given(payloads)
+@settings(max_examples=60, deadline=None)
+def test_int_vs_float_spellings_collapse(payload):
+    assert (normalize_request(_floatified(payload)).key()
+            == normalize_request(payload).key())
+
+
+@given(scenario_payloads())
+@settings(max_examples=60, deadline=None)
+def test_default_elision_equals_spelled_out(payload):
+    spelled = {"seed": 0, "engine": "reference", **payload}
+    assert (normalize_request(spelled).key()
+            == normalize_request(payload).key())
+
+
+@given(st.sampled_from(PRESET_NAMES), st.integers(1, 12),
+       st.sampled_from(ENGINE_NAMES))
+@settings(max_examples=30, deadline=None)
+def test_n_seeds_sugar_equals_explicit_list(preset, n, engine):
+    sugar = {"kind": "sweep", "preset": preset, "n_seeds": n,
+             "engine": engine}
+    explicit = {"kind": "sweep", "preset": preset,
+                "seeds": list(range(n)), "engine": engine}
+    assert (normalize_request(sugar).key()
+            == normalize_request(explicit).key())
+
+
+@given(payloads, payloads)
+@settings(max_examples=100, deadline=None)
+def test_distinct_canonical_requests_never_collide(a, b):
+    ra, rb = normalize_request(a), normalize_request(b)
+    if ra == rb:
+        assert ra.key() == rb.key()
+    else:
+        assert ra.key() != rb.key()
+
+
+@given(payloads)
+@settings(max_examples=60, deadline=None)
+def test_normalisation_is_idempotent(payload):
+    once = normalize_request(payload)
+    twice = normalize_request(once.to_payload())
+    assert once == twice and once.key() == twice.key()
+
+
+@given(payloads)
+@settings(max_examples=30, deadline=None)
+def test_canonical_spec_is_json_safe(payload):
+    request = normalize_request(payload)
+    restored = json.loads(json.dumps(request.to_payload()))
+    assert normalize_request(restored).key() == request.key()

@@ -283,6 +283,49 @@ def test_seam_registry_tracks_runtime_packet_engines():
     assert accepted["fluid_method"] == registries["fluid_method"]
 
 
+def test_seam_registry_tracks_runtime_job_kinds():
+    from repro.serve import JOB_KINDS
+
+    project = LintProject(files=[], repro_root=SRC)
+    registries = seam_registries(project)
+    assert registries["job_kind"] == frozenset(JOB_KINDS)
+    accepted = accepted_literals(registries)
+    assert accepted["job_kind"] == registries["job_kind"]
+
+
+def test_job_kind_seam_literals_and_dispatch(tmp_path):
+    pkg = write_tree(tmp_path, dict(_SEAM_TREE, **{"serve/route.py": """\
+        def typo(job_kind):
+            return job_kind == "experimentt"
+
+        def partial(job_kind):
+            if job_kind == "experiment":
+                return 1
+            elif job_kind == "scenario":
+                return 2
+
+        def total(job_kind):
+            if job_kind == "experiment":
+                return 1
+            elif job_kind == "scenario":
+                return 2
+            else:
+                return 3
+
+        def keyword():
+            return submit(job_kind="sweeep")
+        """}))
+    findings = run_lint([pkg / "serve" / "route.py"], select=["engine-seam"],
+                        repro_root=pkg)
+    unknown = sorted((f.line, f.message.split("'")[1]) for f in findings
+                     if "not a registered" in f.message)
+    assert unknown == [(2, "experimentt"), (19, "sweeep")]
+    dispatch = [f for f in findings if "dispatch covers" in f.message]
+    assert [f.line for f in dispatch] == [5]
+    assert "sweep" in dispatch[0].message
+    assert len(findings) == 3
+
+
 # -- kernel-parity ---------------------------------------------------------
 
 _KERNEL_TREE = {

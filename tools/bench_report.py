@@ -25,7 +25,8 @@ keeps what the perf trajectory needs:
   simulated second**;
 * per-workload speedups, pairing the fast engine (``engine="batch"``
   for the fluid kernel, ``engine="batched"`` for the packet engine,
-  ``engine="compiled"`` for the compiled kernel backend)
+  ``engine="compiled"`` for the compiled kernel backend,
+  ``engine="warm"`` for the job server's cached path)
   against ``engine="reference"`` rows that share
   ``extra_info["workload"]``.  Rows with other engine tags (e.g. the
   ``heap``/``calendar`` event-kernel microbenches) are reported but
@@ -73,7 +74,7 @@ __all__ = ["build_report", "main"]
 #: engine tags paired against "reference" for the speedup/gate section
 #: (listed fastest-first: when a workload carries several fast rows the
 #: earliest present tag is the one gated)
-_FAST_ENGINES = ("sharded", "compiled", "batch", "batched")
+_FAST_ENGINES = ("sharded", "compiled", "batch", "batched", "warm")
 
 
 def _kernel_entry(bench: dict) -> dict:
